@@ -1,0 +1,257 @@
+// Package planetapps_test hosts the benchmark harness that regenerates
+// every table and figure of the paper (go test -bench=.). Each benchmark
+// runs one experiment end-to-end against a shared reduced-scale suite and
+// reports a headline domain metric alongside ns/op, so a bench run doubles
+// as a smoke reproduction of the paper's results. EXPERIMENTS.md records
+// the full-scale numbers.
+package planetapps_test
+
+import (
+	"sync"
+	"testing"
+
+	"planetapps"
+	"planetapps/internal/experiments"
+	"planetapps/internal/model"
+	"planetapps/internal/pricing"
+)
+
+// benchSuite is shared across benchmarks; markets simulate once and cache.
+var (
+	benchOnce sync.Once
+	benchS    *experiments.Suite
+	benchErr  error
+)
+
+func suite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchS, benchErr = experiments.NewSuite(experiments.Config{
+			Seed: 1, Scale: 0.25, Days: 20, CommentUsers: 4000,
+		})
+		if benchErr != nil {
+			return
+		}
+		// Pre-simulate every store so per-benchmark timings measure the
+		// analysis, not the shared market construction.
+		for _, store := range benchS.StoreNames() {
+			if _, benchErr = benchS.Market(store); benchErr != nil {
+				return
+			}
+		}
+		_, _, benchErr = benchS.CommentData()
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchS
+}
+
+// runExperiment is the common benchmark body.
+func runExperiment(b *testing.B, id string) experiments.Result {
+	s := suite(b)
+	var res experiments.Result
+	var err error
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = experiments.Run(s, id)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+	b.StopTimer()
+	return res
+}
+
+func BenchmarkTable1(b *testing.B) {
+	res := runExperiment(b, "T1").(*experiments.Table1Result)
+	b.ReportMetric(res.Rows[0].DailyDownloads, "daily-downloads")
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	res := runExperiment(b, "F2").(*experiments.Figure2Result)
+	// Top-10% share for the anzhi profile (paper: ~90%).
+	for i, p := range res.RankPcts {
+		if p == 10 {
+			b.ReportMetric(res.Share["anzhi"][i], "top10%-share-pct")
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	res := runExperiment(b, "F3").(*experiments.Figure3Result)
+	b.ReportMetric(res.Stores[0].TrunkExponent, "anzhi-trunk-exp")
+	b.ReportMetric(res.Stores[0].TailDrop, "anzhi-tail-drop")
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	res := runExperiment(b, "F4").(*experiments.Figure4Result)
+	b.ReportMetric(res.Stores[0].NoUpdatePct, "never-updated-pct")
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	res := runExperiment(b, "F5").(*experiments.Figure5Result)
+	b.ReportMetric(res.SingleCategoryPct, "single-category-pct")
+	b.ReportMetric(res.CategoryDownloadPct[0], "top-category-pct")
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	res := runExperiment(b, "F6").(*experiments.Figure6Result)
+	b.ReportMetric(res.Analysis.OverallMean[0], "affinity-d1")
+	b.ReportMetric(res.Analysis.RandomWalk[0], "random-walk-d1")
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	res := runExperiment(b, "F7").(*experiments.Figure7Result)
+	b.ReportMetric(res.Medians[0], "median-affinity-d1")
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	res := runExperiment(b, "F8").(*experiments.Figure8Result)
+	// Best-fit distance of APP-CLUSTERING on the anzhi profile.
+	for _, st := range res.Stores {
+		if st.Store == "anzhi" {
+			for _, f := range st.Fits {
+				if f.Kind == model.AppClustering {
+					b.ReportMetric(f.Distance, "clustering-distance")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	res := runExperiment(b, "F9").(*experiments.Figure9Result)
+	wins := 0
+	for _, row := range res.Rows {
+		c := row.Distances[model.AppClustering.String()]
+		if c <= row.Distances[model.Zipf.String()] && c <= row.Distances[model.ZipfAtMostOnce.String()] {
+			wins++
+		}
+	}
+	b.ReportMetric(float64(wins), "clustering-wins-of-6")
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	res := runExperiment(b, "F10").(*experiments.Figure10Result)
+	b.ReportMetric(res.ArgminFraction("anzhi"), "argmin-users-fraction")
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	res := runExperiment(b, "F11").(*experiments.Figure11Result)
+	b.ReportMetric(res.PaidTrunk, "paid-trunk-exp")
+	b.ReportMetric(res.FreeTrunk, "free-trunk-exp")
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	res := runExperiment(b, "F12").(*experiments.Figure12Result)
+	b.ReportMetric(res.Bins.PriceDownloadsR, "price-downloads-r")
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	res := runExperiment(b, "F13").(*experiments.Figure13Result)
+	b.ReportMetric(res.Percentiles[50], "median-income-usd")
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	res := runExperiment(b, "F14").(*experiments.Figure14Result)
+	b.ReportMetric(res.Correlation, "income-apps-r")
+}
+
+func BenchmarkFigure15(b *testing.B) {
+	res := runExperiment(b, "F15").(*experiments.Figure15Result)
+	b.ReportMetric(res.Top4RevenuePct, "top4-revenue-pct")
+}
+
+func BenchmarkFigure16(b *testing.B) {
+	res := runExperiment(b, "F16").(*experiments.Figure16Result)
+	b.ReportMetric(res.PaidSingleAppPct, "paid-single-app-pct")
+}
+
+func BenchmarkFigure17(b *testing.B) {
+	res := runExperiment(b, "F17").(*experiments.Figure17Result)
+	last := res.ByTier[len(res.ByTier)-1]
+	b.ReportMetric(res.Overall[len(res.Overall)-1], "break-even-usd")
+	b.ReportMetric(last[pricing.TierPopular], "break-even-popular-usd")
+}
+
+func BenchmarkFigure18(b *testing.B) {
+	res := runExperiment(b, "F18").(*experiments.Figure18Result)
+	b.ReportMetric(res.Values[0]/res.Values[len(res.Values)-1], "category-spread-x")
+}
+
+func BenchmarkFigure19(b *testing.B) {
+	res := runExperiment(b, "F19").(*experiments.Figure19Result)
+	first := res.Points[0]
+	b.ReportMetric(first.HitRatio[model.AppClustering.String()], "clustering-hit-pct-smallest")
+	b.ReportMetric(first.HitRatio[model.Zipf.String()], "zipf-hit-pct-smallest")
+}
+
+func BenchmarkAblationX1(b *testing.B) {
+	res := runExperiment(b, "X1").(*experiments.AblationX1Result)
+	b.ReportMetric(res.Rows[0].DistanceToAMO, "p0-distance-to-amo")
+}
+
+func BenchmarkCachePolicies(b *testing.B) {
+	res := runExperiment(b, "X2").(*experiments.CachePoliciesX2Result)
+	b.ReportMetric(res.HitRatio("CategoryAware")-res.HitRatio("LRU"), "categoryaware-vs-lru-pct")
+}
+
+func BenchmarkPrefetchX3(b *testing.B) {
+	res := runExperiment(b, "X3").(*experiments.PrefetchX3Result)
+	b.ReportMetric(res.HitRate("category-top"), "categorytop-hit-pct")
+	b.ReportMetric(res.HitRate("global-top"), "globaltop-hit-pct")
+}
+
+func BenchmarkRecommendX4(b *testing.B) {
+	res := runExperiment(b, "X4").(*experiments.RecommendX4Result)
+	b.ReportMetric(res.HitRate("cluster-aware"), "clusteraware-hit-pct")
+	b.ReportMetric(res.HitRate("popularity"), "popularity-hit-pct")
+}
+
+func BenchmarkSensitivityX5(b *testing.B) {
+	res := runExperiment(b, "X5").(*experiments.SensitivityX5Result)
+	last := res.Rows[len(res.Rows)-1]
+	b.ReportMetric(last.FittedP, "fitted-p-at-planted-0.9")
+	b.ReportMetric(last.Advantage, "amo-over-cl-distance")
+}
+
+// BenchmarkWorkloadThroughput measures raw download-event generation speed
+// of the core APP-CLUSTERING simulator.
+func BenchmarkWorkloadThroughput(b *testing.B) {
+	cfg := planetapps.WorkloadConfig{
+		Apps: 10000, Users: 20000, DownloadsPerUser: 10,
+		ZipfGlobal: 1.4, ZipfCluster: 1.4, ClusterP: 0.9, Clusters: 30,
+	}
+	w, err := planetapps.NewWorkload(planetapps.APPClustering, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var total int64
+	for i := 0; i < b.N; i++ {
+		res := w.Run(uint64(i))
+		total += res.Total
+	}
+	b.StopTimer()
+	if total > 0 {
+		b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "downloads/sec")
+	}
+}
+
+// BenchmarkMarketDay measures one simulated market day on the anzhi
+// profile.
+func BenchmarkMarketDay(b *testing.B) {
+	prof, err := planetapps.StoreProfile("anzhi")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := planetapps.DefaultMarketConfig(prof.Scale(0.25))
+	cfg.Days = b.N + 1
+	b.ResetTimer()
+	m, _, err := planetapps.SimulateMarket(cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = m
+}

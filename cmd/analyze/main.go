@@ -1,0 +1,184 @@
+// Command analyze runs the paper's offline analyses over a crawled JSONL
+// database produced by cmd/crawl: dataset summary, Pareto effect, rank
+// curve shape, model fits, update behaviour, and comment-based temporal
+// affinity — §3-§5 applied to whatever a crawl collected.
+//
+// Usage:
+//
+//	crawl -store anzhi -days 5 -out crawl.jsonl
+//	analyze -db crawl.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"planetapps/internal/affinity"
+	"planetapps/internal/db"
+	"planetapps/internal/dist"
+	"planetapps/internal/model"
+	"planetapps/internal/report"
+	"planetapps/internal/stats"
+)
+
+func main() {
+	var (
+		path = flag.String("db", "crawl.jsonl", "crawl database path")
+		fit  = flag.Bool("fit", true, "fit the three workload models (slower)")
+		seed = flag.Uint64("seed", 1, "fitting seed")
+	)
+	flag.Parse()
+
+	d, err := db.LoadFile(*path)
+	if err != nil {
+		log.Fatalf("analyze: %v", err)
+	}
+	apps := d.Apps()
+	if len(apps) == 0 {
+		log.Fatalf("analyze: database %s has no apps", *path)
+	}
+
+	// --- Dataset summary (Table 1 style) --------------------------------
+	lastDay := 0
+	for _, rec := range apps {
+		for _, st := range rec.Daily {
+			if st.Day > lastDay {
+				lastDay = st.Day
+			}
+		}
+	}
+	_, first := d.DownloadsOnDay(0)
+	_, last := d.DownloadsOnDay(lastDay)
+	sumT := report.NewTable("dataset summary", "metric", "value")
+	sumT.AddRow("apps", len(apps))
+	sumT.AddRow("crawl days", lastDay+1)
+	sumT.AddRow("downloads (first day)", total(first))
+	sumT.AddRow("downloads (last day)", total(last))
+	sumT.AddRow("comments", d.NumComments())
+	print(sumT)
+
+	// --- Popularity (Figures 2-3) ---------------------------------------
+	curve := positiveCurve(last)
+	if len(curve.Downloads) < 10 {
+		log.Fatalf("analyze: too few downloaded apps (%d)", len(curve.Downloads))
+	}
+	popT := report.NewTable("popularity", "metric", "value")
+	popT.AddRow("downloaded apps", len(curve.Downloads))
+	popT.AddRow("top 1% share", fmt.Sprintf("%.1f%%", 100*stats.TopShare(curve.Downloads, 0.01)))
+	popT.AddRow("top 10% share", fmt.Sprintf("%.1f%%", 100*stats.TopShare(curve.Downloads, 0.10)))
+	popT.AddRow("trunk exponent", curve.TrunkExponent(0.02, 0.3))
+	popT.AddRow("head flatness", curve.HeadFlatness())
+	popT.AddRow("tail drop", curve.TailDrop())
+	if cut, ok := dist.FitPowerLawCutoff(curve); ok {
+		popT.AddRow("cutoff-fit alpha", cut.Alpha)
+		popT.AddRow("cutoff-fit rank", cut.Cutoff)
+	}
+	print(popT)
+
+	// --- Update behaviour (Figure 4) -------------------------------------
+	zero, updated := 0, 0
+	for _, rec := range apps {
+		if len(rec.Daily) < 2 {
+			continue
+		}
+		if rec.Daily[len(rec.Daily)-1].Version > rec.Daily[0].Version {
+			updated++
+		} else {
+			zero++
+		}
+	}
+	if zero+updated > 0 {
+		updT := report.NewTable("updates over the crawl period", "metric", "value")
+		updT.AddRow("apps observed multiple days", zero+updated)
+		updT.AddRow("% never updated", fmt.Sprintf("%.1f%%", 100*float64(zero)/float64(zero+updated)))
+		print(updT)
+	}
+
+	// --- Model fits (Figure 8) -------------------------------------------
+	if *fit {
+		fits, err := model.FitAllMC(curve, model.DefaultFitSpec(), *seed)
+		if err != nil {
+			log.Fatalf("analyze: fitting: %v", err)
+		}
+		fitT := report.NewTable("model fits (best first)", "model", "parameters", "distance")
+		for _, f := range fits {
+			fitT.AddRow(f.Kind.String(), f.String(), f.Distance)
+		}
+		print(fitT)
+	}
+
+	// --- Temporal affinity (Figures 6-7) ---------------------------------
+	if d.NumComments() > 0 {
+		catIdx := map[string]int{}
+		catOf := map[int32]int{}
+		catCount := map[int]int{}
+		for _, rec := range apps {
+			ci, ok := catIdx[rec.Category]
+			if !ok {
+				ci = len(catIdx)
+				catIdx[rec.Category] = ci
+			}
+			catOf[rec.ID] = ci
+			catCount[ci]++
+		}
+		sizes := make([]int, len(catIdx))
+		for ci, n := range catCount {
+			sizes[ci] = n
+		}
+		cs := d.Comments()
+		sort.SliceStable(cs, func(i, j int) bool { return cs[i].UnixTime < cs[j].UnixTime })
+		perUser := map[int32][]int{}
+		lastApp := map[int32]int32{}
+		for _, cm := range cs {
+			if cm.Rating <= 0 {
+				continue
+			}
+			if prev, ok := lastApp[cm.User]; ok && prev == cm.App {
+				continue
+			}
+			lastApp[cm.User] = cm.App
+			perUser[cm.User] = append(perUser[cm.User], catOf[cm.App])
+		}
+		an, err := affinity.Analyze(perUser, sizes, []int{1, 2, 3}, 10)
+		if err != nil {
+			log.Fatalf("analyze: affinity: %v", err)
+		}
+		affT := report.NewTable("temporal affinity", "depth", "mean affinity", "random walk", "ratio")
+		for di, depth := range an.Depths {
+			ratio := 0.0
+			if an.RandomWalk[di] > 0 {
+				ratio = an.OverallMean[di] / an.RandomWalk[di]
+			}
+			affT.AddRow(depth, an.OverallMean[di], an.RandomWalk[di], ratio)
+		}
+		print(affT)
+	}
+}
+
+func total(xs []int64) int64 {
+	var t int64
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+func positiveCurve(downloads []int64) dist.RankCurve {
+	vals := make([]float64, 0, len(downloads))
+	for _, d := range downloads {
+		if d > 0 {
+			vals = append(vals, float64(d))
+		}
+	}
+	return dist.NewRankCurve(vals)
+}
+
+func print(t *report.Table) {
+	if _, err := t.WriteTo(os.Stdout); err != nil {
+		log.Fatalf("analyze: %v", err)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,78 @@
+// Command appstored serves a synthetic appstore over HTTP — the stand-in
+// for the live marketplaces the paper crawled. It simulates a market for
+// the selected store profile and exposes the paginated JSON API the crawler
+// consumes, optionally advancing one simulated day on a wall-clock timer.
+//
+// Usage:
+//
+//	appstored -store anzhi -addr :8080 -scale 0.5 -day-every 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"planetapps"
+	"planetapps/internal/marketsim"
+	"planetapps/internal/storeserver"
+)
+
+func main() {
+	var (
+		store    = flag.String("store", "anzhi", "store profile: slideme, 1mobile, appchina, anzhi")
+		addr     = flag.String("addr", ":8080", "listen address")
+		scale    = flag.Float64("scale", 0.5, "population scale factor")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		days     = flag.Int("days", 60, "simulated measurement period length")
+		dayEvery = flag.Duration("day-every", 0, "advance one simulated day per interval (0 = only via crawler-observed day 0)")
+		rate     = flag.Float64("rate", 200, "per-client request rate limit (req/s, 0 = off)")
+		burst    = flag.Int("burst", 50, "per-client rate limit burst")
+		comments = flag.Int("comments", 20000, "commenting user population (0 = no comments)")
+	)
+	flag.Parse()
+
+	prof, err := planetapps.StoreProfile(*store)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	prof = prof.Scale(*scale)
+	cfg := planetapps.DefaultMarketConfig(prof)
+	cfg.Days = *days
+
+	// Create the market without running the whole period: the server
+	// advances days on demand (day 0 is already populated via warmup).
+	m, err := marketsim.New(cfg, *seed)
+	if err != nil {
+		log.Fatalf("appstored: %v", err)
+	}
+	srv := storeserver.New(m, storeserver.Config{
+		PageSize:   100,
+		RatePerSec: *rate,
+		Burst:      *burst,
+	})
+	if *comments > 0 {
+		cs, err := planetapps.GenerateComments(m.Catalog(), *comments, *seed+1)
+		if err != nil {
+			log.Fatalf("appstored: comments: %v", err)
+		}
+		srv.SetComments(cs)
+	}
+	if *dayEvery > 0 {
+		go func() {
+			for range time.Tick(*dayEvery) {
+				if err := srv.AdvanceDay(); err != nil {
+					log.Printf("appstored: period complete: %v", err)
+					return
+				}
+				log.Printf("appstored: advanced to day %d", srv.Day())
+			}
+		}()
+	}
+	log.Printf("appstored: serving %s (%d apps) on %s", prof.Name, m.Catalog().NumApps(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,130 @@
+// Command crawl replays the paper's data-collection pipeline (Figure 1):
+// it crawls an appstore's JSON API daily — through an optional fleet of
+// in-process HTTP proxies — and persists per-app statistics and comments
+// into a JSONL database.
+//
+// By default it runs fully self-contained: it starts an in-process
+// appstore, a fleet of proxy nodes, crawls the requested number of days,
+// and writes the database. Point -url at a running appstored to crawl an
+// external store instead.
+//
+// Usage:
+//
+//	crawl -store anzhi -days 5 -proxies 4 -out crawl.jsonl
+//	crawl -url http://127.0.0.1:8080 -days 3 -out crawl.jsonl
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+
+	"planetapps"
+	"planetapps/internal/crawler"
+	"planetapps/internal/db"
+	"planetapps/internal/marketsim"
+	"planetapps/internal/proxy"
+	"planetapps/internal/storeserver"
+)
+
+func main() {
+	var (
+		storeName = flag.String("store", "anzhi", "store profile for the in-process store")
+		url       = flag.String("url", "", "crawl an external store at this base URL instead of starting one")
+		days      = flag.Int("days", 5, "number of daily crawls")
+		proxies   = flag.Int("proxies", 4, "in-process proxy fleet size (0 = direct)")
+		workers   = flag.Int("workers", 8, "concurrent fetchers")
+		out       = flag.String("out", "crawl.jsonl", "output database path")
+		scale     = flag.Float64("scale", 0.25, "in-process store population scale")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		comments  = flag.Bool("comments", true, "crawl per-app comments")
+		apks      = flag.Bool("apks", false, "download app packages (each version once)")
+	)
+	flag.Parse()
+
+	base := *url
+	var advance func() error
+	if base == "" {
+		srv, err := startStore(*storeName, *scale, *seed, *days)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		base = ts.URL
+		advance = srv.AdvanceDay
+		log.Printf("crawl: started in-process %s store at %s", *storeName, base)
+	}
+
+	cfg := crawler.DefaultConfig(base)
+	cfg.Workers = *workers
+	cfg.FetchComments = *comments
+	cfg.FetchAPKs = *apks
+	if *proxies > 0 {
+		var urls []string
+		for i := 0; i < *proxies; i++ {
+			p := proxy.New(fmt.Sprintf("planetlab-%02d", i), "cn")
+			ps := httptest.NewServer(p.Handler())
+			defer ps.Close()
+			urls = append(urls, ps.URL)
+		}
+		pool, err := proxy.NewPool(urls)
+		if err != nil {
+			log.Fatalf("crawl: %v", err)
+		}
+		cfg.Proxies = pool
+		log.Printf("crawl: routing through %d proxy nodes", pool.Size())
+	}
+
+	c, err := crawler.New(cfg, db.New())
+	if err != nil {
+		log.Fatalf("crawl: %v", err)
+	}
+	ctx := context.Background()
+	for day := 0; day < *days; day++ {
+		if day > 0 && advance != nil {
+			if err := advance(); err != nil {
+				log.Printf("crawl: store period complete: %v", err)
+				break
+			}
+		}
+		stats, err := c.CrawlDay(ctx)
+		if err != nil {
+			log.Fatalf("crawl: day %d: %v", day, err)
+		}
+		log.Printf("crawl: day %d: %d apps, %d new comments, %d new APKs (%d bytes), %d requests (%d retries)",
+			stats.Day, stats.Apps, stats.Comments, stats.APKs, stats.APKBytes, stats.Requests, stats.Retries)
+	}
+	if err := c.DB().SaveFile(*out); err != nil {
+		log.Fatalf("crawl: saving %s: %v", *out, err)
+	}
+	log.Printf("crawl: wrote %s (%d apps, %d comments)", *out, c.DB().NumApps(), c.DB().NumComments())
+}
+
+// startStore builds the in-process appstore with comments attached.
+func startStore(storeName string, scale float64, seed uint64, days int) (*storeserver.Server, error) {
+	prof, err := planetapps.StoreProfile(storeName)
+	if err != nil {
+		return nil, err
+	}
+	prof = prof.Scale(scale)
+	mcfg := planetapps.DefaultMarketConfig(prof)
+	if days+1 > mcfg.Days {
+		mcfg.Days = days + 1
+	}
+	m, err := marketsim.New(mcfg, seed)
+	if err != nil {
+		return nil, err
+	}
+	srv := storeserver.New(m, storeserver.DefaultConfig())
+	cs, err := planetapps.GenerateComments(m.Catalog(), 5000, seed+1)
+	if err != nil {
+		return nil, err
+	}
+	srv.SetComments(cs)
+	return srv, nil
+}

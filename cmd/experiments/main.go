@@ -1,0 +1,66 @@
+// Command experiments runs the paper's tables and figures against the
+// synthetic stores and prints the regenerated rows/series. With no
+// arguments it runs everything in order; pass experiment IDs (T1, F2..F19,
+// X1, X2) to run a subset.
+//
+// Usage:
+//
+//	experiments                 # run all at default scale
+//	experiments -scale 0.5 F8 F9 F19
+//	experiments -markdown > EXPERIMENTS.out.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"planetapps"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+		scale    = flag.Float64("scale", 1.0, "store population scale")
+		days     = flag.Int("days", 60, "simulated measurement period")
+		users    = flag.Int("comment-users", 30000, "behaviour-study population")
+		markdown = flag.Bool("markdown", false, "wrap output in markdown code fences per experiment")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range planetapps.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	suite, err := planetapps.NewExperimentSuite(planetapps.ExperimentConfig{
+		Seed: *seed, Scale: *scale, Days: *days, CommentUsers: *users,
+	})
+	if err != nil {
+		log.Fatalf("experiments: %v", err)
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = planetapps.ExperimentIDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if *markdown {
+			fmt.Printf("## %s\n\n```\n", id)
+		} else {
+			fmt.Printf("===== %s =====\n", id)
+		}
+		if _, err := planetapps.RunExperiment(suite, id, os.Stdout); err != nil {
+			log.Fatalf("experiments: %s: %v", id, err)
+		}
+		if *markdown {
+			fmt.Printf("```\n\n")
+		}
+		fmt.Fprintf(os.Stderr, "experiments: %s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

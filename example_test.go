@@ -1,0 +1,63 @@
+package planetapps_test
+
+import (
+	"fmt"
+	"log"
+
+	"planetapps"
+)
+
+// ExampleNewWorkload demonstrates simulating the paper's APP-CLUSTERING
+// workload model and inspecting the resulting popularity curve.
+func ExampleNewWorkload() {
+	cfg := planetapps.WorkloadConfig{
+		Apps:             1000,
+		Users:            5000,
+		DownloadsPerUser: 6,
+		ZipfGlobal:       1.4,
+		ZipfCluster:      1.4,
+		ClusterP:         0.9,
+		Clusters:         20,
+	}
+	w, err := planetapps.NewWorkload(planetapps.APPClustering, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := w.Run(1)
+	fmt.Println("total downloads:", res.Total)
+	// Output:
+	// total downloads: 30000
+}
+
+// ExampleStoreProfile shows the calibrated store profiles.
+func ExampleStoreProfile() {
+	p, err := planetapps.StoreProfile("anzhi")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(p.Name, p.Categories, "categories")
+	// Output:
+	// anzhi 34 categories
+}
+
+// ExampleGenerateStore builds a deterministic synthetic catalog.
+func ExampleGenerateStore() {
+	p, _ := planetapps.StoreProfile("slideme")
+	c, err := planetapps.GenerateStore(p.Scale(0.1), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	free, paid := c.FreePaidCounts()
+	fmt.Println("apps:", c.NumApps(), "free:", free, "paid:", paid)
+	// Output:
+	// apps: 220 free: 152 paid: 68
+}
+
+// ExampleObservedCurve converts raw download counts into the rank curve
+// form every analysis consumes.
+func ExampleObservedCurve() {
+	curve := planetapps.ObservedCurve([]int64{10, 500, 0, 60})
+	fmt.Println(len(curve.Downloads), "downloaded apps, top =", curve.Top())
+	// Output:
+	// 3 downloaded apps, top = 500
+}

@@ -1,0 +1,55 @@
+// Cachesim reproduces the paper's §7 caching study (Figure 19): an LRU
+// app-delivery cache swept over cache sizes under the three workload
+// models, showing how the clustering effect degrades hit ratios — then
+// tries the category-aware partitioned policy the paper calls for.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"planetapps"
+	"planetapps/internal/cache"
+	"planetapps/internal/report"
+)
+
+func main() {
+	// The paper's simulation setup (60k apps, 30 categories, 600k users,
+	// 2M downloads, zr=1.7, zc=1.4, p=0.9), scaled 10x down.
+	cfg := planetapps.WorkloadConfig{
+		Apps:             6000,
+		Users:            60000,
+		DownloadsPerUser: 200000.0 / 60000,
+		ZipfGlobal:       1.7,
+		ZipfCluster:      1.4,
+		ClusterP:         0.9,
+		Clusters:         30,
+	}
+
+	points, err := planetapps.CacheSweep(cfg, []float64{1, 2, 5, 10, 15, 20}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tbl := report.NewTable("Figure 19: LRU hit ratio vs cache size",
+		"size %", "apps", "ZIPF %", "ZIPF-at-most-once %", "APP-CLUSTERING %")
+	for _, p := range points {
+		tbl.AddRow(p.SizePct, p.Capacity,
+			p.HitRatio["ZIPF"], p.HitRatio["ZIPF-at-most-once"], p.HitRatio["APP-CLUSTERING"])
+	}
+	fmt.Print(tbl.String())
+	fmt.Println("\nThe clustering effect consistently lowers the LRU hit ratio —")
+	fmt.Println("the paper's motivation for clustering-aware replacement policies.")
+
+	// The extension: compare policies under the clustering workload at a
+	// 5% cache.
+	results, err := cache.ComparePolicies(cfg, cfg.Apps/20, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ptbl := report.NewTable("\nreplacement policies under APP-CLUSTERING (5% cache)",
+		"policy", "hit ratio %")
+	for _, r := range results {
+		ptbl.AddRow(r.Policy, r.HitRatio())
+	}
+	fmt.Print(ptbl.String())
+}

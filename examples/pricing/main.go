@@ -1,0 +1,65 @@
+// Pricing walks through the paper's §6 revenue analysis on a SlideMe-like
+// store: free-vs-paid popularity, price elasticity, developer income
+// distribution, and the break-even ad income that decides between the
+// paid and free-with-ads strategies.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"planetapps"
+	"planetapps/internal/pricing"
+	"planetapps/internal/report"
+	"planetapps/internal/stats"
+)
+
+func main() {
+	prof, err := planetapps.StoreProfile("slideme")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := planetapps.DefaultMarketConfig(prof)
+	cfg.Days = 60
+	market, _, err := planetapps.SimulateMarket(cfg, 2013)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := planetapps.AnalyzePricing(market.Catalog(), market.Downloads())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 11: paid apps follow a steeper, cleaner power law.
+	fmt.Printf("free apps:  %6d listed, %10.0f downloads, trunk exponent %.2f\n",
+		len(rep.FreeCurve.Downloads), rep.FreeCurve.Total(), rep.FreeCurve.TrunkExponent(0.02, 0.3))
+	fmt.Printf("paid apps:  %6d listed, %10.0f downloads, trunk exponent %.2f\n",
+		len(rep.PaidCurve.Downloads), rep.PaidCurve.Total(), rep.PaidCurve.TrunkExponent(0.02, 0.3))
+
+	// Figure 12: price vs popularity.
+	fmt.Printf("\nprice-downloads Pearson correlation: %.3f (paper: -0.229)\n", rep.PriceDownloadsR)
+
+	// Figure 13: income distribution.
+	incomes := make([]float64, len(rep.Incomes))
+	for i, d := range rep.Incomes {
+		incomes[i] = d.Income
+	}
+	sort.Float64s(incomes)
+	tbl := report.NewTable("\ndeveloper income from paid apps", "percentile", "income ($)")
+	for _, p := range []float64{10, 50, 80, 95, 99} {
+		tbl.AddRow(p, stats.Percentile(incomes, p))
+	}
+	fmt.Print(tbl.String())
+	fmt.Printf("\nincome vs portfolio size correlation: %.3f (paper: 0.008 — quality beats quantity)\n",
+		rep.IncomeAppsR)
+
+	// Equation 7: which strategy wins?
+	fmt.Printf("\nbreak-even ad income per download: $%.3f\n", rep.BreakEven)
+	for _, tier := range []pricing.PopularityTier{pricing.TierPopular, pricing.TierMedium, pricing.TierUnpopular} {
+		fmt.Printf("  %-28s $%.3f\n", tier.String()+":", rep.BreakEvenByTier[tier])
+	}
+	fmt.Println("\nA popular free app needs only a small per-download ad income to beat")
+	fmt.Println("the average paid app — the paper's case for the free+ads strategy.")
+}

@@ -1,0 +1,3 @@
+module planetapps
+
+go 1.22

@@ -1,0 +1,228 @@
+// Package cache simulates an app-delivery cache in front of an appstore,
+// the implication study of the paper's §7 (Figure 19): a fixed-capacity
+// cache of app packages serving a stream of download requests, measured by
+// hit ratio under different workload models and replacement policies.
+//
+// Beyond the paper's LRU study, the package implements FIFO, LFU, 2Q, and
+// a category-aware partitioned-LFU policy (the "new replacement policies"
+// the paper calls for), which allocates capacity to categories by their
+// observed traffic share.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Policy is a cache replacement policy over app identifiers. Implementations
+// are single-goroutine simulation structures, not concurrent caches.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Access records a request for app id and reports whether it hit.
+	// On a miss the app is admitted, evicting per policy when full.
+	Access(id int32) bool
+	// Len returns the number of cached apps.
+	Len() int
+	// Contains reports whether the app is currently cached.
+	Contains(id int32) bool
+}
+
+// LRU is a least-recently-used cache.
+type LRU struct {
+	cap   int
+	ll    *list.List              // front = most recent
+	items map[int32]*list.Element // id -> element (Value = id)
+}
+
+// NewLRU creates an LRU cache holding up to capacity apps.
+func NewLRU(capacity int) *LRU {
+	if capacity < 1 {
+		panic(fmt.Sprintf("cache: LRU capacity %d", capacity))
+	}
+	return &LRU{cap: capacity, ll: list.New(), items: make(map[int32]*list.Element, capacity)}
+}
+
+// Name implements Policy.
+func (c *LRU) Name() string { return "LRU" }
+
+// Len implements Policy.
+func (c *LRU) Len() int { return c.ll.Len() }
+
+// Contains implements Policy.
+func (c *LRU) Contains(id int32) bool { _, ok := c.items[id]; return ok }
+
+// Access implements Policy.
+func (c *LRU) Access(id int32) bool {
+	if e, ok := c.items[id]; ok {
+		c.ll.MoveToFront(e)
+		return true
+	}
+	if c.ll.Len() >= c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(int32))
+	}
+	c.items[id] = c.ll.PushFront(id)
+	return false
+}
+
+// Warm preloads the cache with the given apps in order of descending
+// priority: the first min(capacity, len(ids)) entries are admitted and
+// ids[0] ends up most recently used. The paper initializes caches with the
+// most popular apps.
+func (c *LRU) Warm(ids []int32) {
+	n := len(ids)
+	if n > c.cap {
+		n = c.cap
+	}
+	for i := n - 1; i >= 0; i-- {
+		c.Access(ids[i])
+	}
+}
+
+// FIFO evicts in insertion order regardless of use.
+type FIFO struct {
+	cap   int
+	ll    *list.List
+	items map[int32]*list.Element
+}
+
+// NewFIFO creates a FIFO cache holding up to capacity apps.
+func NewFIFO(capacity int) *FIFO {
+	if capacity < 1 {
+		panic(fmt.Sprintf("cache: FIFO capacity %d", capacity))
+	}
+	return &FIFO{cap: capacity, ll: list.New(), items: make(map[int32]*list.Element, capacity)}
+}
+
+// Name implements Policy.
+func (c *FIFO) Name() string { return "FIFO" }
+
+// Len implements Policy.
+func (c *FIFO) Len() int { return c.ll.Len() }
+
+// Contains implements Policy.
+func (c *FIFO) Contains(id int32) bool { _, ok := c.items[id]; return ok }
+
+// Access implements Policy.
+func (c *FIFO) Access(id int32) bool {
+	if _, ok := c.items[id]; ok {
+		return true
+	}
+	if c.ll.Len() >= c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(int32))
+	}
+	c.items[id] = c.ll.PushFront(id)
+	return false
+}
+
+// Warm preloads the cache (first id admitted first).
+func (c *FIFO) Warm(ids []int32) {
+	for _, id := range ids {
+		if c.ll.Len() >= c.cap {
+			break
+		}
+		c.Access(id)
+	}
+}
+
+// LFU evicts the least-frequently-used app, breaking ties by recency.
+// Implemented with the standard O(1) frequency-list structure.
+type LFU struct {
+	cap   int
+	freqs *list.List // of *freqBucket, ascending frequency
+	items map[int32]*lfuEntry
+}
+
+type freqBucket struct {
+	freq    int64
+	entries *list.List // of int32 ids, front = most recent
+}
+
+type lfuEntry struct {
+	bucket *list.Element // into freqs
+	elem   *list.Element // into bucket.entries
+}
+
+// NewLFU creates an LFU cache holding up to capacity apps.
+func NewLFU(capacity int) *LFU {
+	if capacity < 1 {
+		panic(fmt.Sprintf("cache: LFU capacity %d", capacity))
+	}
+	return &LFU{cap: capacity, freqs: list.New(), items: make(map[int32]*lfuEntry, capacity)}
+}
+
+// Name implements Policy.
+func (c *LFU) Name() string { return "LFU" }
+
+// Len implements Policy.
+func (c *LFU) Len() int { return len(c.items) }
+
+// Contains implements Policy.
+func (c *LFU) Contains(id int32) bool { _, ok := c.items[id]; return ok }
+
+// Access implements Policy.
+func (c *LFU) Access(id int32) bool {
+	if e, ok := c.items[id]; ok {
+		c.promote(id, e)
+		return true
+	}
+	if len(c.items) >= c.cap {
+		c.evict()
+	}
+	// Insert at frequency 1.
+	front := c.freqs.Front()
+	if front == nil || front.Value.(*freqBucket).freq != 1 {
+		front = c.freqs.PushFront(&freqBucket{freq: 1, entries: list.New()})
+	}
+	b := front.Value.(*freqBucket)
+	c.items[id] = &lfuEntry{bucket: front, elem: b.entries.PushFront(id)}
+	return false
+}
+
+func (c *LFU) promote(id int32, e *lfuEntry) {
+	b := e.bucket.Value.(*freqBucket)
+	next := e.bucket.Next()
+	b.entries.Remove(e.elem)
+	var target *list.Element
+	if next != nil && next.Value.(*freqBucket).freq == b.freq+1 {
+		target = next
+	} else {
+		target = c.freqs.InsertAfter(&freqBucket{freq: b.freq + 1, entries: list.New()}, e.bucket)
+	}
+	if b.entries.Len() == 0 {
+		c.freqs.Remove(e.bucket)
+	}
+	tb := target.Value.(*freqBucket)
+	e.bucket = target
+	e.elem = tb.entries.PushFront(id)
+}
+
+func (c *LFU) evict() {
+	front := c.freqs.Front()
+	if front == nil {
+		return
+	}
+	b := front.Value.(*freqBucket)
+	victim := b.entries.Back() // least recent within lowest frequency
+	b.entries.Remove(victim)
+	if b.entries.Len() == 0 {
+		c.freqs.Remove(front)
+	}
+	delete(c.items, victim.Value.(int32))
+}
+
+// Warm preloads the first min(capacity, len(ids)) apps at frequency 1,
+// ids[0] most recent.
+func (c *LFU) Warm(ids []int32) {
+	n := len(ids)
+	if n > c.cap {
+		n = c.cap
+	}
+	for i := n - 1; i >= 0; i-- {
+		c.Access(ids[i])
+	}
+}

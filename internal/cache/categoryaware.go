@@ -1,0 +1,197 @@
+package cache
+
+import (
+	"fmt"
+)
+
+// CategoryAware is the extension policy §7 of the paper motivates ("new
+// replacement policies should be used, taking into account the
+// clustering-based user behavior"). It is a partitioned LFU: capacity is
+// divided into per-category segments whose sizes track each category's
+// observed traffic share, and within a segment the least-frequently-used
+// app is evicted (ties broken by recency).
+//
+// Rationale: under APP-CLUSTERING the aggregate request stream a shared
+// cache sees has no temporal category locality (per-user category runs are
+// interleaved across many users) — instead the clustering effect
+// concentrates requests on every category's popularity head. Frequency is
+// therefore the dominant signal, and the per-category partition keeps one
+// category's churn from displacing another category's stable head, which
+// a single global recency list cannot guarantee.
+type CategoryAware struct {
+	cap        int
+	rebalance  int
+	categoryOf func(int32) int32
+
+	items    map[int32]*caEntry
+	segments map[int32]map[int32]*caEntry
+	seq      int64
+
+	counts  map[int32]int64 // per-category request counts
+	total   int64
+	sinceRe int
+	targets map[int32]int
+}
+
+type caEntry struct {
+	cat     int32
+	count   int64
+	lastUse int64
+}
+
+// CategoryAwareConfig configures the policy.
+type CategoryAwareConfig struct {
+	// Capacity is the total number of apps the cache holds.
+	Capacity int
+	// CategoryOf maps app id to category id.
+	CategoryOf func(int32) int32
+	// RebalanceEvery is the number of requests between allocation-target
+	// recomputations; 0 selects Capacity.
+	RebalanceEvery int
+}
+
+// NewCategoryAware builds the policy. It panics on invalid configuration,
+// mirroring the other constructors.
+func NewCategoryAware(cfg CategoryAwareConfig) *CategoryAware {
+	if cfg.Capacity < 1 {
+		panic(fmt.Sprintf("cache: CategoryAware capacity %d", cfg.Capacity))
+	}
+	if cfg.CategoryOf == nil {
+		panic("cache: CategoryAware needs CategoryOf")
+	}
+	re := cfg.RebalanceEvery
+	if re <= 0 {
+		re = cfg.Capacity
+	}
+	return &CategoryAware{
+		cap:        cfg.Capacity,
+		rebalance:  re,
+		categoryOf: cfg.CategoryOf,
+		items:      map[int32]*caEntry{},
+		segments:   map[int32]map[int32]*caEntry{},
+		counts:     map[int32]int64{},
+		targets:    map[int32]int{},
+	}
+}
+
+// Name implements Policy.
+func (c *CategoryAware) Name() string { return "CategoryAware" }
+
+// Len implements Policy.
+func (c *CategoryAware) Len() int { return len(c.items) }
+
+// Contains implements Policy.
+func (c *CategoryAware) Contains(id int32) bool {
+	_, ok := c.items[id]
+	return ok
+}
+
+// Access implements Policy.
+func (c *CategoryAware) Access(id int32) bool {
+	cat := c.categoryOf(id)
+	c.counts[cat]++
+	c.total++
+	c.seq++
+	c.sinceRe++
+	if c.sinceRe >= c.rebalance {
+		c.recomputeTargets()
+		c.sinceRe = 0
+	}
+	if e, ok := c.items[id]; ok {
+		e.count++
+		e.lastUse = c.seq
+		return true
+	}
+	if len(c.items) >= c.cap {
+		c.evict(cat)
+	}
+	e := &caEntry{cat: cat, count: 1, lastUse: c.seq}
+	c.items[id] = e
+	seg := c.segments[cat]
+	if seg == nil {
+		seg = map[int32]*caEntry{}
+		c.segments[cat] = seg
+	}
+	seg[id] = e
+	return false
+}
+
+// recomputeTargets reallocates capacity proportionally to observed traffic,
+// guaranteeing at least one slot to every category seen so far and giving
+// leftover slots to the busiest category.
+func (c *CategoryAware) recomputeTargets() {
+	if c.total == 0 {
+		return
+	}
+	for cat := range c.targets {
+		delete(c.targets, cat)
+	}
+	assigned := 0
+	var maxCat int32
+	var maxCount int64 = -1
+	for cat, n := range c.counts {
+		t := int(float64(c.cap) * float64(n) / float64(c.total))
+		if t < 1 {
+			t = 1
+		}
+		c.targets[cat] = t
+		assigned += t
+		if n > maxCount {
+			maxCount, maxCat = n, cat
+		}
+	}
+	if rem := c.cap - assigned; rem > 0 {
+		c.targets[maxCat] += rem
+	}
+}
+
+// evict removes the least-frequently-used app (ties by least recent) from
+// the most over-target segment; the inserting category is handicapped so it
+// can grow toward its own target.
+func (c *CategoryAware) evict(inserting int32) {
+	var victimSeg int32
+	bestOver := -1 << 30
+	found := false
+	for cat, seg := range c.segments {
+		n := len(seg)
+		if n == 0 {
+			continue
+		}
+		target := c.targets[cat]
+		if target == 0 {
+			target = 1
+		}
+		over := n - target
+		if cat == inserting {
+			over--
+		}
+		if over > bestOver {
+			bestOver, victimSeg, found = over, cat, true
+		}
+	}
+	if !found {
+		return
+	}
+	seg := c.segments[victimSeg]
+	var victim int32
+	var ve *caEntry
+	for id, e := range seg {
+		if ve == nil || e.count < ve.count || (e.count == ve.count && e.lastUse < ve.lastUse) {
+			victim, ve = id, e
+		}
+	}
+	delete(seg, victim)
+	delete(c.items, victim)
+}
+
+// Warm preloads the first min(capacity, len(ids)) apps at frequency 1,
+// ids[0] most recently used.
+func (c *CategoryAware) Warm(ids []int32) {
+	n := len(ids)
+	if n > c.cap {
+		n = c.cap
+	}
+	for i := n - 1; i >= 0; i-- {
+		c.Access(ids[i])
+	}
+}

@@ -1,0 +1,146 @@
+package cache
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// TwoQ implements the 2Q replacement policy (Johnson & Shasha, VLDB '94):
+// first-time accesses enter a FIFO probation queue (A1in); apps evicted
+// from probation are remembered in a ghost list (A1out, ids only); a hit
+// on a ghost promotes the app into the protected LRU (Am). Scan-resistant:
+// one-shot downloads churn through probation without displacing the
+// protected set — a useful contrast policy for the clustering workload,
+// where a large fraction of requests are one-time tail downloads.
+type TwoQ struct {
+	cap      int
+	inCap    int
+	ghostCap int
+
+	in    *list.List // probation FIFO, front = newest
+	am    *list.List // protected LRU, front = most recent
+	ghost *list.List // ghost FIFO of evicted-probation ids
+
+	items  map[int32]*twoqEntry
+	ghosts map[int32]*list.Element
+}
+
+type twoqEntry struct {
+	elem *list.Element
+	// where distinguishes the resident queue: probation or protected.
+	where int8 // 0 = in, 1 = am
+}
+
+// NewTwoQ creates a 2Q cache holding up to capacity apps, with the classic
+// 25% probation / full-capacity ghost sizing.
+func NewTwoQ(capacity int) *TwoQ {
+	if capacity < 2 {
+		panic(fmt.Sprintf("cache: TwoQ capacity %d", capacity))
+	}
+	inCap := capacity / 4
+	if inCap < 1 {
+		inCap = 1
+	}
+	return &TwoQ{
+		cap:      capacity,
+		inCap:    inCap,
+		ghostCap: capacity,
+		in:       list.New(),
+		am:       list.New(),
+		ghost:    list.New(),
+		items:    map[int32]*twoqEntry{},
+		ghosts:   map[int32]*list.Element{},
+	}
+}
+
+// Name implements Policy.
+func (c *TwoQ) Name() string { return "2Q" }
+
+// Len implements Policy.
+func (c *TwoQ) Len() int { return len(c.items) }
+
+// Contains implements Policy.
+func (c *TwoQ) Contains(id int32) bool {
+	_, ok := c.items[id]
+	return ok
+}
+
+// Access implements Policy.
+func (c *TwoQ) Access(id int32) bool {
+	if e, ok := c.items[id]; ok {
+		if e.where == 1 {
+			c.am.MoveToFront(e.elem)
+		}
+		// Probation hits do not promote in classic 2Q (only ghost hits
+		// prove re-reference beyond the FIFO window).
+		return true
+	}
+	if g, ok := c.ghosts[id]; ok {
+		// Re-referenced after probation eviction: admit to protected.
+		c.ghost.Remove(g)
+		delete(c.ghosts, id)
+		c.makeRoom()
+		c.items[id] = &twoqEntry{elem: c.am.PushFront(id), where: 1}
+		return false
+	}
+	// First sighting: probation.
+	c.makeRoom()
+	c.items[id] = &twoqEntry{elem: c.in.PushFront(id), where: 0}
+	return false
+}
+
+// makeRoom evicts one resident app if the cache is full: prefer the oldest
+// probation entry (remembering it as a ghost), else the protected LRU tail.
+func (c *TwoQ) makeRoom() {
+	if len(c.items) < c.cap {
+		// Still trim probation to its sub-capacity so the protected set
+		// can use the rest.
+		if c.in.Len() > c.inCap && len(c.items) >= c.cap {
+			c.evictProbation()
+		}
+		return
+	}
+	if c.in.Len() > 0 {
+		c.evictProbation()
+		return
+	}
+	back := c.am.Back()
+	if back == nil {
+		return
+	}
+	c.am.Remove(back)
+	delete(c.items, back.Value.(int32))
+}
+
+func (c *TwoQ) evictProbation() {
+	back := c.in.Back()
+	if back == nil {
+		return
+	}
+	id := back.Value.(int32)
+	c.in.Remove(back)
+	delete(c.items, id)
+	// Remember in the ghost list.
+	c.ghosts[id] = c.ghost.PushFront(id)
+	for c.ghost.Len() > c.ghostCap {
+		old := c.ghost.Back()
+		c.ghost.Remove(old)
+		delete(c.ghosts, old.Value.(int32))
+	}
+}
+
+// Warm preloads the first min(capacity, len(ids)) apps into the protected
+// LRU (they are known-popular), ids[0] most recent.
+func (c *TwoQ) Warm(ids []int32) {
+	n := len(ids)
+	if n > c.cap {
+		n = c.cap
+	}
+	for i := n - 1; i >= 0; i-- {
+		if c.Contains(ids[i]) {
+			continue
+		}
+		c.makeRoom()
+		c.items[ids[i]] = &twoqEntry{elem: c.am.PushFront(ids[i]), where: 1}
+	}
+}

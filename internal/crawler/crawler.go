@@ -1,0 +1,392 @@
+// Package crawler implements the paper's data-collection pipeline
+// (Figure 1): concurrent HTTP crawlers that walk a store's paginated app
+// listing, fetch per-app detail and comment pages, rotate requests across
+// a proxy pool, respect per-store politeness limits with retry/backoff,
+// and persist daily statistics into the local crawl database.
+package crawler
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"planetapps/internal/db"
+	"planetapps/internal/proxy"
+	"planetapps/internal/storeserver"
+)
+
+// Config controls a crawl session.
+type Config struct {
+	// BaseURL is the store's root URL, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Workers is the number of concurrent fetchers.
+	Workers int
+	// RatePerSec bounds the crawler's aggregate request rate ("we designed
+	// our crawlers to comply with the thresholds set by each appstore");
+	// <= 0 disables the limiter.
+	RatePerSec float64
+	// MaxRetries is the per-request retry budget for 429/5xx/transport
+	// errors.
+	MaxRetries int
+	// Backoff is the initial retry delay, doubled per attempt.
+	Backoff time.Duration
+	// Proxies optionally routes requests through a rotating proxy pool.
+	Proxies *proxy.Pool
+	// FetchComments enables per-app comment crawling.
+	FetchComments bool
+	// FetchAPKs enables package downloads. Each (app, version) pair is
+	// fetched exactly once across the crawler's lifetime ("we download
+	// each app version only once, so we do not affect the actual number
+	// of downloads" — and the simulated store indeed does not count them).
+	FetchAPKs bool
+	// Timeout bounds each HTTP request.
+	Timeout time.Duration
+}
+
+// DefaultConfig returns a configuration suited to the in-process store.
+func DefaultConfig(baseURL string) Config {
+	return Config{
+		BaseURL:    baseURL,
+		Workers:    8,
+		RatePerSec: 150,
+		MaxRetries: 5,
+		Backoff:    20 * time.Millisecond,
+		Timeout:    10 * time.Second,
+	}
+}
+
+// Stats summarizes one crawl session.
+type Stats struct {
+	// Day is the store day the crawl observed.
+	Day int
+	// Apps is the number of app records upserted.
+	Apps int
+	// Comments is the number of new comments stored.
+	Comments int
+	// APKs is the number of new app packages fetched.
+	APKs int
+	// APKBytes is the number of package bytes transferred.
+	APKBytes int64
+	// Requests counts HTTP requests issued (including retries).
+	Requests int64
+	// Retries counts retried requests.
+	Retries int64
+}
+
+// Crawler crawls one store into a database.
+type Crawler struct {
+	cfg    Config
+	client *http.Client
+	db     *db.DB
+
+	mu       sync.Mutex
+	requests int64
+	retries  int64
+
+	rateMu sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// New creates a crawler writing into the given database.
+func New(cfg Config, database *db.DB) (*Crawler, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("crawler: empty base URL")
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 20 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	transport := &http.Transport{
+		MaxIdleConnsPerHost: cfg.Workers,
+	}
+	if cfg.Proxies != nil {
+		transport.Proxy = cfg.Proxies.ProxyFunc()
+	}
+	return &Crawler{
+		cfg:    cfg,
+		client: &http.Client{Transport: transport, Timeout: cfg.Timeout},
+		db:     database,
+		tokens: cfg.RatePerSec,
+		last:   time.Now(),
+	}, nil
+}
+
+// DB returns the crawler's database.
+func (c *Crawler) DB() *db.DB { return c.db }
+
+// waitRate blocks until the aggregate token bucket grants a request.
+func (c *Crawler) waitRate(ctx context.Context) error {
+	if c.cfg.RatePerSec <= 0 {
+		return nil
+	}
+	for {
+		c.rateMu.Lock()
+		now := time.Now()
+		c.tokens += now.Sub(c.last).Seconds() * c.cfg.RatePerSec
+		if c.tokens > c.cfg.RatePerSec {
+			c.tokens = c.cfg.RatePerSec
+		}
+		c.last = now
+		if c.tokens >= 1 {
+			c.tokens--
+			c.rateMu.Unlock()
+			return nil
+		}
+		need := (1 - c.tokens) / c.cfg.RatePerSec
+		c.rateMu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Duration(need * float64(time.Second))):
+		}
+	}
+}
+
+// getJSON fetches a URL with politeness, retries, and backoff, decoding the
+// JSON response into out.
+func (c *Crawler) getJSON(ctx context.Context, url string, out any) error {
+	backoff := c.cfg.Backoff
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			c.mu.Lock()
+			c.retries++
+			c.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		if err := c.waitRate(ctx); err != nil {
+			return err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("User-Agent", "planetapps-crawler/1.0")
+		c.mu.Lock()
+		c.requests++
+		c.mu.Unlock()
+		resp, err := c.client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		func() {
+			defer resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				lastErr = json.NewDecoder(resp.Body).Decode(out)
+			case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				lastErr = fmt.Errorf("crawler: %s returned %d", url, resp.StatusCode)
+			default:
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				lastErr = &permanentError{fmt.Errorf("crawler: %s returned %d", url, resp.StatusCode)}
+			}
+		}()
+		if lastErr == nil {
+			return nil
+		}
+		if _, permanent := lastErr.(*permanentError); permanent {
+			return lastErr
+		}
+	}
+	return fmt.Errorf("crawler: giving up on %s: %w", url, lastErr)
+}
+
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// getBytes fetches a URL with the same politeness/retry discipline as
+// getJSON, discarding the body but returning its length — used for APK
+// downloads, where only transfer accounting matters to the analyses.
+func (c *Crawler) getBytes(ctx context.Context, url string) (int64, error) {
+	backoff := c.cfg.Backoff
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			c.mu.Lock()
+			c.retries++
+			c.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return 0, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		if err := c.waitRate(ctx); err != nil {
+			return 0, err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return 0, err
+		}
+		req.Header.Set("User-Agent", "planetapps-crawler/1.0")
+		c.mu.Lock()
+		c.requests++
+		c.mu.Unlock()
+		resp, err := c.client.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var n int64
+		func() {
+			defer resp.Body.Close()
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				n, lastErr = io.Copy(io.Discard, resp.Body)
+			case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				lastErr = fmt.Errorf("crawler: %s returned %d", url, resp.StatusCode)
+			default:
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				lastErr = &permanentError{fmt.Errorf("crawler: %s returned %d", url, resp.StatusCode)}
+			}
+		}()
+		if lastErr == nil {
+			return n, nil
+		}
+		if _, permanent := lastErr.(*permanentError); permanent {
+			return 0, lastErr
+		}
+	}
+	return 0, fmt.Errorf("crawler: giving up on %s: %w", url, lastErr)
+}
+
+// CrawlDay performs one full crawl pass: store stats, every listing page,
+// and (optionally) per-app comments, recording a DailyStat per app under
+// the store's current day.
+func (c *Crawler) CrawlDay(ctx context.Context) (Stats, error) {
+	var stats storeserver.StatsJSON
+	if err := c.getJSON(ctx, c.cfg.BaseURL+"/api/stats", &stats); err != nil {
+		return Stats{}, err
+	}
+	day := stats.Day
+
+	// Fetch page 0 to learn the page count, then fan pages out to workers.
+	var first storeserver.PageJSON
+	if err := c.getJSON(ctx, fmt.Sprintf("%s/api/apps?page=0", c.cfg.BaseURL), &first); err != nil {
+		return Stats{}, err
+	}
+	pages := make(chan int)
+	var wg sync.WaitGroup
+	var crawlErr error
+	var errOnce sync.Once
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var appCount, commentCount, apkCount, apkBytes int64
+	var countMu sync.Mutex
+
+	ingestPage := func(p storeserver.PageJSON) error {
+		for _, a := range p.Apps {
+			c.db.UpsertApp(db.AppRecord{
+				ID: a.ID, Name: a.Name, Category: a.Category,
+				Developer: a.Developer, Paid: a.Paid, Price: a.Price,
+				HasAds: a.HasAds,
+			}, db.DailyStat{
+				Day: day, Downloads: a.Downloads, Version: a.Version, Price: a.Price,
+			})
+			countMu.Lock()
+			appCount++
+			countMu.Unlock()
+			if c.cfg.FetchComments {
+				var cs []storeserver.CommentJSON
+				url := fmt.Sprintf("%s/api/apps/%d/comments", c.cfg.BaseURL, a.ID)
+				if err := c.getJSON(ctx, url, &cs); err != nil {
+					return err
+				}
+				for _, cm := range cs {
+					if c.db.AddComment(db.CommentRecord{
+						App: a.ID, User: cm.User, Rating: cm.Rating, UnixTime: cm.UnixTime,
+					}) {
+						countMu.Lock()
+						commentCount++
+						countMu.Unlock()
+					}
+				}
+			}
+			if c.cfg.FetchAPKs && !c.db.HasAPK(a.ID, a.Version) {
+				url := fmt.Sprintf("%s/api/apps/%d/apk", c.cfg.BaseURL, a.ID)
+				n, err := c.getBytes(ctx, url)
+				if err != nil {
+					return err
+				}
+				if c.db.RecordAPK(a.ID, a.Version, n) {
+					countMu.Lock()
+					apkCount++
+					apkBytes += n
+					countMu.Unlock()
+				}
+			}
+		}
+		return nil
+	}
+
+	if err := ingestPage(first); err != nil {
+		return Stats{}, err
+	}
+	for w := 0; w < c.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for page := range pages {
+				var p storeserver.PageJSON
+				url := fmt.Sprintf("%s/api/apps?page=%d", c.cfg.BaseURL, page)
+				if err := c.getJSON(ctx, url, &p); err != nil {
+					errOnce.Do(func() { crawlErr = err; cancel() })
+					return
+				}
+				if err := ingestPage(p); err != nil {
+					errOnce.Do(func() { crawlErr = err; cancel() })
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for page := 1; page < first.Pages; page++ {
+		select {
+		case pages <- page:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(pages)
+	wg.Wait()
+	if crawlErr != nil {
+		return Stats{}, crawlErr
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Day:      day,
+		Apps:     int(appCount),
+		Comments: int(commentCount),
+		APKs:     int(apkCount),
+		APKBytes: apkBytes,
+		Requests: c.requests,
+		Retries:  c.retries,
+	}, nil
+}

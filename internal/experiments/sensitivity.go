@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"planetapps/internal/catalog"
+	"planetapps/internal/marketsim"
+	"planetapps/internal/model"
+	"planetapps/internal/report"
+)
+
+func init() {
+	register("X5", func(s *Suite) (Result, error) { return SensitivityX5(s) })
+}
+
+// SensitivityX5Result validates the whole fitting methodology: stores are
+// simulated with different planted clustering strengths, and the fitted
+// APP-CLUSTERING parameters must track the plant. This is the control
+// experiment a measurement study cannot run on live stores (the ground
+// truth is unknown there) but a reproduction can and should.
+type SensitivityX5Result struct {
+	Rows []SensitivityRow
+}
+
+// SensitivityRow is one planted-vs-fitted comparison.
+type SensitivityRow struct {
+	// PlantedP is the market simulation's clustering probability.
+	PlantedP float64
+	// FittedP is the best-fit APP-CLUSTERING p.
+	FittedP float64
+	// ClusteringDistance and AMODistance compare the two leading models.
+	ClusteringDistance, AMODistance float64
+	// Advantage is AMODistance/ClusteringDistance (>1: clustering wins).
+	Advantage float64
+}
+
+// ID implements Result.
+func (*SensitivityX5Result) ID() string { return "X5" }
+
+// Tables implements Result.
+func (r *SensitivityX5Result) Tables() []*report.Table {
+	t := report.NewTable("X5: fitted clustering strength tracks the planted strength",
+		"planted p", "fitted p", "CL distance", "AMO distance", "AMO/CL")
+	for _, row := range r.Rows {
+		t.AddRow(row.PlantedP, row.FittedP, row.ClusteringDistance, row.AMODistance, row.Advantage)
+	}
+	return []*report.Table{t}
+}
+
+// SensitivityX5 sweeps the planted ClusterP of an anzhi-profile market and
+// fits the models to each resulting curve.
+func SensitivityX5(s *Suite) (*SensitivityX5Result, error) {
+	out := &SensitivityX5Result{}
+	for _, planted := range []float64{0.1, 0.5, 0.9} {
+		prof := catalog.Profiles["anzhi"].Scale(s.cfg.Scale)
+		prof.ClusterP = planted
+		cfg := marketsim.DefaultConfig(prof)
+		cfg.Days = s.cfg.Days
+		m, err := marketsim.New(cfg, s.cfg.Seed+uint64(planted*1000))
+		if err != nil {
+			return nil, err
+		}
+		series, err := m.Run()
+		if err != nil {
+			return nil, err
+		}
+		curve := trimZeroTail(series.Last().Curve())
+		cl, err := model.FitMC(model.AppClustering, curve, model.DefaultFitSpec(), s.cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		amo, err := model.FitMC(model.ZipfAtMostOnce, curve, model.DefaultFitSpec(), s.cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row := SensitivityRow{
+			PlantedP:           planted,
+			FittedP:            cl.Config.ClusterP,
+			ClusteringDistance: cl.Distance,
+			AMODistance:        amo.Distance,
+		}
+		if cl.Distance > 0 {
+			row.Advantage = amo.Distance / cl.Distance
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,230 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation, plus the two extension studies DESIGN.md defines
+// (X1 ablation, X2 cache policies). Each runner pulls its inputs from a
+// shared Suite, which lazily simulates and caches the per-store markets so
+// multiple experiments can reuse the same "measured" data — the way the
+// paper reuses one crawl dataset across its analysis sections.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"planetapps/internal/catalog"
+	"planetapps/internal/comments"
+	"planetapps/internal/marketsim"
+	"planetapps/internal/report"
+	"planetapps/internal/snapshot"
+)
+
+// Config scales the whole experiment suite.
+type Config struct {
+	// Seed makes every experiment deterministic.
+	Seed uint64
+	// Scale multiplies the store population profiles (1.0 = the laptop
+	// calibration in catalog.Profiles, which is itself ~10x below the
+	// paper's stores). Tests use small scales for speed.
+	Scale float64
+	// Days is the simulated measurement period.
+	Days int
+	// CommentUsers is the commenting population for the behaviour study.
+	CommentUsers int
+}
+
+// DefaultConfig returns the standard experiment configuration.
+func DefaultConfig() Config {
+	return Config{Seed: 1, Scale: 1.0, Days: 60, CommentUsers: 30000}
+}
+
+// Suite carries lazily computed shared state.
+type Suite struct {
+	cfg Config
+
+	mu      sync.Mutex
+	markets map[string]*MarketRun
+	cstream []comments.Comment
+	ccat    *catalog.Catalog
+}
+
+// MarketRun couples a completed market simulation with its snapshots.
+type MarketRun struct {
+	Market *marketsim.Market
+	Series *snapshot.Series
+}
+
+// NewSuite creates a suite.
+func NewSuite(cfg Config) (*Suite, error) {
+	if cfg.Scale <= 0 {
+		return nil, fmt.Errorf("experiments: Scale = %v", cfg.Scale)
+	}
+	if cfg.Days < 2 {
+		return nil, fmt.Errorf("experiments: Days = %d", cfg.Days)
+	}
+	if cfg.CommentUsers < 100 {
+		return nil, fmt.Errorf("experiments: CommentUsers = %d, need >= 100", cfg.CommentUsers)
+	}
+	return &Suite{cfg: cfg, markets: map[string]*MarketRun{}}, nil
+}
+
+// Config returns the suite configuration.
+func (s *Suite) Config() Config { return s.cfg }
+
+// StoreNames returns the simulated store names in presentation order
+// (largest stores first, as in the paper's tables).
+func (s *Suite) StoreNames() []string {
+	return []string{"anzhi", "appchina", "1mobile", "slideme"}
+}
+
+// Market returns (simulating on first use) the completed market run for a
+// store profile.
+func (s *Suite) Market(store string) (*MarketRun, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if run, ok := s.markets[store]; ok {
+		return run, nil
+	}
+	prof, ok := catalog.Profiles[store]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown store %q", store)
+	}
+	cfg := marketsim.DefaultConfig(prof.Scale(s.cfg.Scale))
+	cfg.Days = s.cfg.Days
+	m, err := marketsim.New(cfg, s.cfg.Seed+storeSeed(store))
+	if err != nil {
+		return nil, err
+	}
+	series, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	run := &MarketRun{Market: m, Series: series}
+	s.markets[store] = run
+	return run, nil
+}
+
+// storeSeed gives each store an independent but deterministic seed offset.
+func storeSeed(store string) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, b := range []byte(store) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// CommentData returns (generating on first use) the Anzhi-profile comment
+// stream and its catalog for the §4 behaviour experiments.
+func (s *Suite) CommentData() (*catalog.Catalog, []comments.Comment, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cstream != nil {
+		return s.ccat, s.cstream, nil
+	}
+	run, err := s.marketLocked("anzhi")
+	if err != nil {
+		return nil, nil, err
+	}
+	gcfg := comments.DefaultGenConfig(s.cfg.CommentUsers)
+	gcfg.Days = s.cfg.Days
+	cs, err := comments.Generate(run.Market.Catalog(), gcfg, s.cfg.Seed+0xc0ffee)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.ccat = run.Market.Catalog()
+	s.cstream = cs
+	return s.ccat, s.cstream, nil
+}
+
+// marketLocked is Market without re-locking (callers hold s.mu).
+func (s *Suite) marketLocked(store string) (*MarketRun, error) {
+	if run, ok := s.markets[store]; ok {
+		return run, nil
+	}
+	prof, ok := catalog.Profiles[store]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown store %q", store)
+	}
+	cfg := marketsim.DefaultConfig(prof.Scale(s.cfg.Scale))
+	cfg.Days = s.cfg.Days
+	m, err := marketsim.New(cfg, s.cfg.Seed+storeSeed(store))
+	if err != nil {
+		return nil, err
+	}
+	series, err := m.Run()
+	if err != nil {
+		return nil, err
+	}
+	run := &MarketRun{Market: m, Series: series}
+	s.markets[store] = run
+	return run, nil
+}
+
+// Result is the common interface of experiment outputs: a stable identifier
+// and renderable tables.
+type Result interface {
+	// ID is the experiment identifier (e.g. "T1", "F8", "X2").
+	ID() string
+	// Tables renders the result for terminal or markdown output.
+	Tables() []*report.Table
+}
+
+// Runner executes one experiment against a suite.
+type Runner func(*Suite) (Result, error)
+
+// registry maps experiment IDs to runners; populated by init() funcs in the
+// per-experiment files.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic("experiments: duplicate id " + id)
+	}
+	registry[id] = r
+}
+
+// IDs returns all registered experiment IDs in a stable order: T*, F* by
+// number, then X*.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessID(out[i], out[j]) })
+	return out
+}
+
+func lessID(a, b string) bool {
+	rank := func(id string) (int, int) {
+		class := 3
+		switch id[0] {
+		case 'T':
+			class = 0
+		case 'F':
+			class = 1
+		case 'X':
+			class = 2
+		}
+		n := 0
+		fmt.Sscanf(id[1:], "%d", &n) //nolint:errcheck // 0 on failure is fine
+		return class, n
+	}
+	ca, na := rank(a)
+	cb, nb := rank(b)
+	if ca != cb {
+		return ca < cb
+	}
+	if na != nb {
+		return na < nb
+	}
+	return a < b
+}
+
+// Run executes the experiment with the given ID.
+func Run(s *Suite, id string) (Result, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(s)
+}

@@ -1,0 +1,514 @@
+// Package marketsim evolves a synthetic appstore day by day: new apps
+// arrive, developers ship updates, prices drift, and users download apps
+// following the paper's APP-CLUSTERING behaviour over the catalog's real
+// category structure. It substitutes for the live appstores the paper
+// crawled; its daily snapshots are the "measured data" every experiment
+// consumes.
+//
+// Two download streams run side by side, matching §6's observations:
+//
+//   - Free apps are downloaded by clustering-driven users (temporal
+//     category affinity, fetch-at-most-once), yielding the truncated
+//     Zipf curves of Figure 3.
+//   - Paid apps are downloaded by a separate, more selective process —
+//     price-discounted Zipf with fetch-at-most-once and no clustering —
+//     yielding the pure power law of Figure 11(b) and the negative
+//     price-popularity correlation of Figure 12.
+package marketsim
+
+import (
+	"fmt"
+	"math"
+
+	"planetapps/internal/catalog"
+	"planetapps/internal/dist"
+	"planetapps/internal/rng"
+	"planetapps/internal/snapshot"
+)
+
+// Config controls a market simulation beyond the catalog profile.
+type Config struct {
+	// Profile is the store population profile.
+	Profile catalog.Profile
+	// Days is the measurement period length.
+	Days int
+	// WarmupDays simulates download history before the recorded period, so
+	// day 0 reflects a mature store (the paper's stores carried years of
+	// accumulated downloads on the first crawl day). The per-user download
+	// budget DownloadsPerUser is spread over WarmupDays+Days.
+	WarmupDays int
+	// PaidDownloadShare is the paid stream's volume as a fraction of the
+	// free stream's (Table 1: SlideMe paid sees ~2.4% of free volume).
+	// Only meaningful when the profile has paid apps.
+	PaidDownloadShare float64
+	// PriceElasticity shapes the paid-app price penalty: effective appeal
+	// is divided by (1+price)^PriceElasticity.
+	PriceElasticity float64
+	// PriceChangeP is the per-app per-day probability of a price change.
+	PriceChangeP float64
+	// PaidSelectivity raises paid-app appeal to this power before
+	// sampling. Values above 1 concentrate paid downloads on the best
+	// apps, producing the steeper pure power law of Figure 11(b) (users
+	// "are more selective when paying for apps").
+	PaidSelectivity float64
+	// ShovelwareDamping divides an app's appeal by its developer's
+	// portfolio size raised to this power. It models the paper's Figure 14
+	// finding that income does not grow with portfolio size: accounts that
+	// mass-produce apps (the 1,402-app e-book publisher) ship individually
+	// unpopular ones.
+	ShovelwareDamping float64
+}
+
+// DefaultConfig returns a calibrated configuration for the profile.
+func DefaultConfig(p catalog.Profile) Config {
+	return Config{
+		Profile:           p,
+		Days:              60,
+		WarmupDays:        60,
+		PaidDownloadShare: 0.024,
+		PriceElasticity:   0.8,
+		PriceChangeP:      0.002,
+		PaidSelectivity:   2.0,
+		ShovelwareDamping: 1.0,
+	}
+}
+
+// Market is a running simulation. Create with New, advance with Step or
+// Run.
+type Market struct {
+	cfg Config
+	cat *catalog.Catalog
+	r   *rng.RNG
+
+	day       int
+	downloads []int64 // per-app cumulative
+	appeal    []float64
+	// catBias reshapes within-category concentration: category tables use
+	// appeal^catBias, so the within-category rank distribution follows the
+	// profile's ZipfCluster exponent rather than ZipfGlobal. This is what
+	// gives measured curves their two-scale (global vs cluster) structure.
+	catBias float64
+
+	// Free-stream sampling tables, rebuilt after daily arrivals.
+	freeCum    []float64
+	freeApps   []catalog.AppID
+	catCum     [][]float64
+	catApps    [][]catalog.AppID
+	paidCum    []float64
+	paidApps   []catalog.AppID
+	tablesDay  int
+	usersFree  map[int32]*userState
+	usersPaid  map[int32]*userState
+	series     *snapshot.Series
+	dailyPaid  float64
+	paidVolume bool
+	// schedule is the shuffled sequence of free-stream download events
+	// (one user id per event); each user appears exactly their per-user
+	// download budget times, so user behaviour matches the exact-d users
+	// of the analytic models. nextEvent tracks consumption; totalPeriods
+	// is Days+WarmupDays.
+	schedule     []int32
+	nextEvent    int
+	totalPeriods int
+}
+
+type userState struct {
+	owned   map[catalog.AppID]struct{}
+	history []catalog.AppID
+}
+
+func (u *userState) has(a catalog.AppID) bool {
+	_, ok := u.owned[a]
+	return ok
+}
+
+func (u *userState) record(a catalog.AppID) {
+	if u.owned == nil {
+		u.owned = make(map[catalog.AppID]struct{}, 8)
+	}
+	u.owned[a] = struct{}{}
+	u.history = append(u.history, a)
+}
+
+// New builds a market over a freshly generated catalog. Deterministic in
+// (cfg, seed).
+func New(cfg Config, seed uint64) (*Market, error) {
+	if cfg.Days < 2 {
+		return nil, fmt.Errorf("marketsim: Days = %d, need >= 2", cfg.Days)
+	}
+	if cfg.PaidDownloadShare < 0 {
+		return nil, fmt.Errorf("marketsim: negative PaidDownloadShare")
+	}
+	cat, err := catalog.Generate(cfg.Profile, seed)
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(seed).Split(0x6d61726b6574) // "market"
+	m := &Market{
+		cfg:       cfg,
+		cat:       cat,
+		r:         r,
+		tablesDay: -1,
+		usersFree: map[int32]*userState{},
+		usersPaid: map[int32]*userState{},
+		series:    &snapshot.Series{Store: cfg.Profile.Name},
+	}
+	m.downloads = make([]int64, cat.NumApps())
+	m.appeal = make([]float64, 0, cat.NumApps())
+	for i := 0; i < cat.NumApps(); i++ {
+		m.appeal = append(m.appeal, m.newAppeal(cat.Apps[i].Dev))
+	}
+	// Per-user budgets: floor(d) plus one with probability frac(d), the
+	// same convention the model package uses. The flattened, shuffled
+	// schedule interleaves users across the whole period.
+	m.totalPeriods = cfg.Days + cfg.WarmupDays
+	d := cfg.Profile.DownloadsPerUser
+	for u := 0; u < cfg.Profile.Users; u++ {
+		n := int(d)
+		if m.r.Bool(d - float64(n)) {
+			n++
+		}
+		for k := 0; k < n; k++ {
+			m.schedule = append(m.schedule, int32(u))
+		}
+	}
+	m.r.Shuffle(len(m.schedule), func(i, j int) {
+		m.schedule[i], m.schedule[j] = m.schedule[j], m.schedule[i]
+	})
+	_, paid := cat.FreePaidCounts()
+	m.paidVolume = paid > 0
+	if m.paidVolume {
+		m.dailyPaid = float64(len(m.schedule)) / float64(m.totalPeriods) * cfg.PaidDownloadShare
+	}
+	m.catBias = 1
+	if cfg.Profile.ZipfGlobal > 0 && cfg.Profile.ZipfCluster > 0 {
+		m.catBias = cfg.Profile.ZipfCluster / cfg.Profile.ZipfGlobal
+	}
+	// Warm up: accumulate pre-period history so the day-0 snapshot looks
+	// like a mature store, then record day 0. simulateDownloads consumes
+	// the schedule up through the current day, which at this point covers
+	// all warmup days plus day 0 — so first-day curves are never all-zero.
+	m.rebuildTables()
+	m.simulateDownloads()
+	m.record()
+	return m, nil
+}
+
+// newAppeal draws an app's intrinsic appeal weight. Pareto-tailed appeal
+// makes the sorted weights follow a power law with exponent
+// 1/alpha = ZipfGlobal, so the simulated rank curves carry the profile's
+// trunk slope.
+func (m *Market) newAppeal(catalog.DevID) float64 {
+	alpha := 1 / m.cfg.Profile.ZipfGlobal
+	p := dist.Pareto{Xm: 1, Alpha: alpha}
+	w := p.Sample(m.r)
+	// Cap the heavy tail near the expected maximum order statistic
+	// (~Apps^zr). Without the cap a single freak draw can absorb a large,
+	// realization-dependent share of the store, destabilizing the head of
+	// every popularity curve; with it, the top couple of apps sit near the
+	// cap, reproducing the near-tied top ranks real stores exhibit.
+	if cap := math.Pow(float64(m.cfg.Profile.Apps), m.cfg.Profile.ZipfGlobal) / 2; w > cap {
+		w = cap
+	}
+	return w
+}
+
+// Catalog exposes the market's evolving catalog.
+func (m *Market) Catalog() *catalog.Catalog { return m.cat }
+
+// Day returns the current day index (number of completed days - 1).
+func (m *Market) Day() int { return m.day }
+
+// Series returns the snapshot series accumulated so far.
+func (m *Market) Series() *snapshot.Series { return m.series }
+
+// Downloads returns the live per-app cumulative download counts (shared
+// slice; callers must not modify).
+func (m *Market) Downloads() []int64 { return m.downloads }
+
+// Run advances the market to the configured number of days and returns the
+// snapshot series.
+func (m *Market) Run() (*snapshot.Series, error) {
+	for m.day < m.cfg.Days-1 {
+		if err := m.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return m.series, nil
+}
+
+// Step simulates one day: arrivals, updates, price drift, downloads, and a
+// snapshot.
+func (m *Market) Step() error {
+	if m.day >= m.cfg.Days-1 {
+		return fmt.Errorf("marketsim: period of %d days already complete", m.cfg.Days)
+	}
+	m.day++
+	m.arrivals()
+	m.updatesAndPrices()
+	m.rebuildTables()
+	m.simulateDownloads()
+	m.record()
+	return nil
+}
+
+// arrivals publishes the day's new apps. Most arrivals come from new
+// developer accounts joining the store (keeping the single-app developer
+// share high, per Figure 16a); the rest extend existing portfolios.
+func (m *Market) arrivals() {
+	n := m.r.Poisson(m.cfg.Profile.NewAppsPerDay)
+	for k := 0; k < n; k++ {
+		dev := catalog.DevID(len(m.cat.Developers)) // a brand-new account
+		if m.r.Bool(0.3) {
+			dev = catalog.DevID(m.r.Intn(len(m.cat.Developers)))
+		}
+		a := catalog.App{
+			Dev:        dev,
+			Category:   catalog.CategoryID(m.r.Intn(len(m.cat.Categories))),
+			SizeMB:     3.5,
+			AddedDay:   m.day,
+			UpdateRate: 0.003,
+			Quality:    m.r.Float64(),
+		}
+		if a.Quality == 0 {
+			a.Quality = 1e-6
+		}
+		if m.r.Bool(m.cfg.Profile.PaidFraction) {
+			a.Pricing = catalog.Paid
+			price := dist.LogNormal{Mu: m.cfg.Profile.PriceLogMu, Sigma: m.cfg.Profile.PriceLogSigma}.Sample(m.r)
+			if price < 0.5 {
+				price = 0.5
+			}
+			if price > 50 {
+				price = 50
+			}
+			a.Price = float64(int(price*100+0.5)) / 100
+		} else {
+			a.HasAds = m.r.Bool(m.cfg.Profile.AdFraction)
+		}
+		id := m.cat.AddApp(a)
+		// New arrivals start with damped appeal: most newcomers are
+		// unpopular; breakout hits are possible but rare.
+		m.appeal = append(m.appeal, m.newAppeal(m.cat.Apps[int(id)].Dev)*0.25)
+		m.downloads = append(m.downloads, 0)
+	}
+}
+
+// updatesAndPrices ships version updates and drifts paid prices.
+func (m *Market) updatesAndPrices() {
+	for i := range m.cat.Apps {
+		a := &m.cat.Apps[i]
+		if m.r.Bool(a.UpdateRate) {
+			a.Versions++
+		}
+		if a.Pricing == catalog.Paid && m.r.Bool(m.cfg.PriceChangeP) {
+			factor := 0.8 + 0.4*m.r.Float64()
+			p := a.Price * factor
+			if p < 0.5 {
+				p = 0.5
+			}
+			if p > 50 {
+				p = 50
+			}
+			a.Price = float64(int(p*100+0.5)) / 100
+		}
+	}
+}
+
+// rebuildTables refreshes the cumulative-weight sampling tables after the
+// catalog changed.
+func (m *Market) rebuildTables() {
+	if m.tablesDay == m.day {
+		return
+	}
+	m.tablesDay = m.day
+	m.freeCum = m.freeCum[:0]
+	m.freeApps = m.freeApps[:0]
+	m.paidCum = m.paidCum[:0]
+	m.paidApps = m.paidApps[:0]
+	if m.catCum == nil {
+		m.catCum = make([][]float64, len(m.cat.Categories))
+		m.catApps = make([][]catalog.AppID, len(m.cat.Categories))
+	}
+	for c := range m.catCum {
+		m.catCum[c] = m.catCum[c][:0]
+		m.catApps[c] = m.catApps[c][:0]
+	}
+	// Per-developer paid portfolio sizes for shovelware damping: accounts
+	// that mass-produce paid apps ship individually unpopular ones, which
+	// keeps income uncorrelated with portfolio size (Figure 14).
+	paidPortfolio := make(map[catalog.DevID]int)
+	if m.cfg.ShovelwareDamping > 0 {
+		for i := range m.cat.Apps {
+			if m.cat.Apps[i].Pricing == catalog.Paid {
+				paidPortfolio[m.cat.Apps[i].Dev]++
+			}
+		}
+	}
+	var freeSum float64
+	paidSum := 0.0
+	catSums := make([]float64, len(m.cat.Categories))
+	for i := range m.cat.Apps {
+		a := &m.cat.Apps[i]
+		w := m.appeal[i]
+		if a.Pricing == catalog.Paid {
+			// Paying users are more selective (steeper concentration) and
+			// price-sensitive.
+			if m.cfg.PaidSelectivity > 0 && m.cfg.PaidSelectivity != 1 {
+				w = math.Pow(w, m.cfg.PaidSelectivity)
+			}
+			w /= math.Pow(1+a.Price, m.cfg.PriceElasticity)
+			if n := paidPortfolio[a.Dev]; n > 1 {
+				w /= math.Pow(float64(n), m.cfg.ShovelwareDamping)
+			}
+			paidSum += w
+			m.paidCum = append(m.paidCum, paidSum)
+			m.paidApps = append(m.paidApps, a.ID)
+			continue
+		}
+		freeSum += w
+		m.freeCum = append(m.freeCum, freeSum)
+		m.freeApps = append(m.freeApps, a.ID)
+		c := int(a.Category)
+		cw := w
+		if m.catBias != 1 {
+			cw = math.Pow(w, m.catBias)
+		}
+		catSums[c] += cw
+		m.catCum[c] = append(m.catCum[c], catSums[c])
+		m.catApps[c] = append(m.catApps[c], a.ID)
+	}
+}
+
+// sampleCum draws an index from a cumulative weight table.
+func sampleCum(r *rng.RNG, cum []float64) int {
+	if len(cum) == 0 {
+		return -1
+	}
+	u := r.Float64() * cum[len(cum)-1]
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+const maxRetries = 48
+
+// drawFree performs one clustering-model download for a free-stream user.
+func (m *Market) drawFree(u *userState) (catalog.AppID, bool) {
+	clustered := len(u.history) > 0 && m.r.Bool(m.cfg.Profile.ClusterP)
+	if clustered {
+		for try := 0; try < maxRetries; try++ {
+			prev := u.history[m.r.Intn(len(u.history))]
+			c := int(m.cat.CategoryOf(prev))
+			idx := sampleCum(m.r, m.catCum[c])
+			if idx < 0 {
+				break
+			}
+			app := m.catApps[c][idx]
+			if !u.has(app) {
+				return app, true
+			}
+		}
+		// Fall through to a global draw when the user's clusters are
+		// saturated.
+	}
+	for try := 0; try < maxRetries; try++ {
+		idx := sampleCum(m.r, m.freeCum)
+		if idx < 0 {
+			return 0, false
+		}
+		app := m.freeApps[idx]
+		if !u.has(app) {
+			return app, true
+		}
+	}
+	return 0, false
+}
+
+// drawPaid performs one selective paid-stream download.
+func (m *Market) drawPaid(u *userState) (catalog.AppID, bool) {
+	for try := 0; try < maxRetries; try++ {
+		idx := sampleCum(m.r, m.paidCum)
+		if idx < 0 {
+			return 0, false
+		}
+		app := m.paidApps[idx]
+		if !u.has(app) {
+			return app, true
+		}
+	}
+	return 0, false
+}
+
+// simulateDownloads generates the day's download events by consuming the
+// next slice of the shuffled per-user schedule.
+func (m *Market) simulateDownloads() {
+	// Days consumed so far (including this one) determine the cut point so
+	// rounding never drops events: the final day drains the schedule.
+	consumedDays := m.day + m.cfg.WarmupDays + 1
+	hi := len(m.schedule) * consumedDays / m.totalPeriods
+	if hi > len(m.schedule) {
+		hi = len(m.schedule)
+	}
+	for ; m.nextEvent < hi; m.nextEvent++ {
+		uid := m.schedule[m.nextEvent]
+		u := m.usersFree[uid]
+		if u == nil {
+			u = &userState{}
+			m.usersFree[uid] = u
+		}
+		if app, ok := m.drawFree(u); ok {
+			u.record(app)
+			m.downloads[int(app)]++
+		}
+	}
+	if !m.paidVolume {
+		return
+	}
+	// The first call covers all warmup days plus day 0; scale the paid
+	// volume by the number of days this call spans.
+	daysCovered := 1
+	if m.day == 0 {
+		daysCovered = m.cfg.WarmupDays + 1
+	}
+	nPaid := m.r.Poisson(m.dailyPaid * float64(daysCovered))
+	for k := 0; k < nPaid; k++ {
+		uid := int32(m.r.Intn(m.cfg.Profile.Users))
+		u := m.usersPaid[uid]
+		if u == nil {
+			u = &userState{}
+			m.usersPaid[uid] = u
+		}
+		if app, ok := m.drawPaid(u); ok {
+			u.record(app)
+			m.downloads[int(app)]++
+		}
+	}
+}
+
+// record appends today's snapshot to the series.
+func (m *Market) record() {
+	n := m.cat.NumApps()
+	d := &snapshot.Day{
+		Index:               m.day,
+		CumulativeDownloads: append([]int64(nil), m.downloads[:n]...),
+		Versions:            make([]int, n),
+		Price:               make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		d.Versions[i] = m.cat.Apps[i].Versions
+		d.Price[i] = m.cat.Apps[i].Price
+	}
+	// The series grows strictly by day; record is called exactly once per
+	// day, so Append cannot fail by construction. Panic on violation.
+	if err := m.series.Append(d); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,325 @@
+package marketsim
+
+import (
+	"math"
+	"testing"
+
+	"planetapps/internal/catalog"
+	"planetapps/internal/stats"
+)
+
+func smallConfig() Config {
+	cfg := DefaultConfig(catalog.Profiles["anzhi"].Scale(0.1))
+	cfg.Days = 20
+	return cfg
+}
+
+func TestRunProducesSeries(t *testing.T) {
+	m, err := New(smallConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Days) != 20 {
+		t.Fatalf("series has %d days, want 20", len(s.Days))
+	}
+	sum, err := s.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.DownloadsLast <= sum.DownloadsFirst {
+		t.Fatalf("downloads did not grow: %d -> %d", sum.DownloadsFirst, sum.DownloadsLast)
+	}
+	if sum.AppsLast < sum.AppsFirst {
+		t.Fatalf("apps shrank: %d -> %d", sum.AppsFirst, sum.AppsLast)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() []int64 {
+		m, err := New(smallConfig(), 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return m.Downloads()
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("app counts differ across same-seed runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("downloads differ at app %d", i)
+		}
+	}
+}
+
+func TestDailyVolumeMatchesProfile(t *testing.T) {
+	cfg := smallConfig()
+	m, err := New(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, _ := s.Summarize()
+	want := float64(cfg.Profile.Users) * cfg.Profile.DownloadsPerUser / float64(cfg.Days+cfg.WarmupDays)
+	if math.Abs(sum.DailyDownloads-want) > want*0.15 {
+		t.Fatalf("daily downloads %v, want ~%v", sum.DailyDownloads, want)
+	}
+}
+
+func TestParetoEffectEmerges(t *testing.T) {
+	// Figure 2's headline: top 10% of apps account for most downloads.
+	m, err := New(smallConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := s.Last().Curve()
+	share := stats.TopShare(curve.Downloads, 0.10)
+	if share < 0.55 {
+		t.Fatalf("top-10%% share = %v, want a strong Pareto effect", share)
+	}
+}
+
+func TestTrunkSlopeNearProfile(t *testing.T) {
+	cfg := DefaultConfig(catalog.Profiles["anzhi"].Scale(0.25))
+	cfg.Days = 30
+	m, err := New(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := s.Last().Curve()
+	slope := curve.TrunkExponent(0.01, 0.3)
+	if slope < 0.6*cfg.Profile.ZipfGlobal || slope > 1.6*cfg.Profile.ZipfGlobal {
+		t.Fatalf("trunk slope %v far from profile zr %v", slope, cfg.Profile.ZipfGlobal)
+	}
+}
+
+func TestMostAppsNeverUpdated(t *testing.T) {
+	// Figure 4: >80% of apps see no update within the period.
+	cfg := smallConfig()
+	cfg.Days = 60
+	m, err := New(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := s.UpdateCounts()
+	zero := 0
+	for _, c := range counts {
+		if c == 0 {
+			zero++
+		}
+	}
+	if frac := float64(zero) / float64(len(counts)); frac < 0.7 {
+		t.Fatalf("only %.0f%% of apps un-updated; want most", frac*100)
+	}
+}
+
+func TestPaidStream(t *testing.T) {
+	cfg := DefaultConfig(catalog.Profiles["slideme"])
+	cfg.Days = 30
+	m, err := New(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cat := m.Catalog()
+	dl := m.Downloads()
+	var freeTotal, paidTotal int64
+	var prices, paidDl []float64
+	for i := range cat.Apps {
+		if cat.Apps[i].Pricing == catalog.Paid {
+			paidTotal += dl[i]
+			prices = append(prices, cat.Apps[i].Price)
+			paidDl = append(paidDl, float64(dl[i]))
+		} else {
+			freeTotal += dl[i]
+		}
+	}
+	if paidTotal == 0 {
+		t.Fatal("paid apps received no downloads")
+	}
+	if paidTotal >= freeTotal/5 {
+		t.Fatalf("paid volume %d not far below free volume %d", paidTotal, freeTotal)
+	}
+	// Figure 12: negative correlation between price and downloads.
+	if r := stats.Pearson(prices, paidDl); r >= 0 {
+		t.Fatalf("price-download correlation %v, want negative", r)
+	}
+}
+
+func TestStepBeyondPeriodFails(t *testing.T) {
+	m, err := New(smallConfig(), 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Step(); err == nil {
+		t.Fatal("Step past the configured period succeeded")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Days = 1
+	if _, err := New(cfg, 1); err == nil {
+		t.Fatal("1-day period accepted")
+	}
+	cfg = smallConfig()
+	cfg.PaidDownloadShare = -1
+	if _, err := New(cfg, 1); err == nil {
+		t.Fatal("negative paid share accepted")
+	}
+}
+
+func TestFetchAtMostOncePerUserStream(t *testing.T) {
+	// The same free-stream user never downloads the same app twice; since
+	// user state is internal, check the aggregate invariant instead: no
+	// app collects more downloads than the user population.
+	cfg := smallConfig()
+	m, err := New(cfg, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range m.Downloads() {
+		if d > int64(cfg.Profile.Users) {
+			t.Fatalf("app %d has %d downloads from %d users", i, d, cfg.Profile.Users)
+		}
+	}
+}
+
+func TestCatalogStaysValid(t *testing.T) {
+	m, err := New(smallConfig(), 19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Catalog().Validate(); err != nil {
+		t.Fatalf("catalog invalid after run: %v", err)
+	}
+}
+
+func TestScheduleDrainsExactly(t *testing.T) {
+	// Every scheduled free-stream event is consumed by the end of the
+	// period: the sum of per-app downloads equals the per-user budgets
+	// (minus the rare draws that failed after retry exhaustion) and never
+	// exceeds them.
+	cfg := smallConfig()
+	m, err := New(cfg, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, d := range m.Downloads() {
+		total += d
+	}
+	budget := float64(cfg.Profile.Users) * cfg.Profile.DownloadsPerUser
+	if float64(total) > budget*1.05 {
+		t.Fatalf("downloads %d exceed the scheduled budget %v", total, budget)
+	}
+	if float64(total) < budget*0.9 {
+		t.Fatalf("downloads %d fall far below the scheduled budget %v", total, budget)
+	}
+}
+
+func TestWarmupMaturesDayZero(t *testing.T) {
+	// With warmup, the day-0 snapshot must already hold a large share of
+	// the final volume (the paper's stores carried years of history).
+	cfg := smallConfig() // WarmupDays 60, Days 20
+	m, err := New(cfg, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := s.First().TotalDownloads()
+	last := s.Last().TotalDownloads()
+	frac := float64(first) / float64(last)
+	want := float64(cfg.WarmupDays+1) / float64(cfg.WarmupDays+cfg.Days)
+	if frac < want-0.1 || frac > want+0.1 {
+		t.Fatalf("day-0 holds %.2f of final volume, want ~%.2f", frac, want)
+	}
+}
+
+func TestCategoryBiasReshapesWithinCategory(t *testing.T) {
+	// With ZipfCluster far below ZipfGlobal, within-category download
+	// shares must be flatter than the raw appeal ordering implies: the
+	// category head's share of its category shrinks.
+	headShare := func(zc float64) float64 {
+		prof := catalog.Profiles["anzhi"].Scale(0.1)
+		prof.ZipfCluster = zc
+		cfg := DefaultConfig(prof)
+		cfg.Days = 15
+		m, err := New(cfg, 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		cat := m.Catalog()
+		dl := m.Downloads()
+		// Average, over categories with enough members, of the top app's
+		// share of its category's downloads.
+		var sum float64
+		var n int
+		for ci := range cat.Categories {
+			var catTotal, best int64
+			for _, id := range cat.Categories[ci].Apps {
+				d := dl[int(id)]
+				catTotal += d
+				if d > best {
+					best = d
+				}
+			}
+			if catTotal > 100 {
+				sum += float64(best) / float64(catTotal)
+				n++
+			}
+		}
+		if n == 0 {
+			t.Fatal("no populated categories")
+		}
+		return sum / float64(n)
+	}
+	flat := headShare(0.5)  // catBias ~0.36: flat within-category draws
+	steep := headShare(2.1) // catBias 1.5: concentrated draws
+	if flat >= steep {
+		t.Fatalf("head share flat=%v not below steep=%v", flat, steep)
+	}
+}

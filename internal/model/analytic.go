@@ -1,0 +1,188 @@
+package model
+
+import (
+	"math"
+
+	"planetapps/internal/dist"
+)
+
+// PaperExpectedDownloads evaluates the paper's closed-form expectation
+// (Eq. 5) for an app with overall rank i (1-based) and within-cluster rank
+// j (1-based), under the APP-CLUSTERING model with C equal-size clusters:
+//
+//	D(i,j) = U * [ 1 - (1 - pG(i))^((1-p)d) * (1 - pc(j))^(p*d) ]
+//
+// The formula treats every cluster-based draw as if it could hit the app's
+// own cluster, which overstates within-cluster exposure by a factor of C;
+// the paper presents it as a simplified expectation ("for simplicity we
+// assume that all C clusters have the same size"). PredictCurve below uses
+// a refinement that models cluster visits explicitly and matches the Monte
+// Carlo simulators much more closely; this function is kept as the literal
+// paper formula for reference and tests.
+func PaperExpectedDownloads(cfg Config, i, j int, hg, hc float64) float64 {
+	pg := math.Pow(float64(i), -cfg.ZipfGlobal) / hg
+	pc := math.Pow(float64(j), -cfg.ZipfCluster) / hc
+	missGlobal := math.Pow(1-pg, (1-cfg.ClusterP)*cfg.DownloadsPerUser)
+	missCluster := math.Pow(1-pc, cfg.ClusterP*cfg.DownloadsPerUser)
+	return float64(cfg.Users) * (1 - missGlobal*missCluster)
+}
+
+// HarmonicsFor returns the harmonic normalizers (global, per-cluster) that
+// PaperExpectedDownloads needs, assuming C equal clusters of size Apps/C
+// (rounded up, matching RoundRobin).
+func HarmonicsFor(cfg Config) (hg, hc float64) {
+	hg = dist.Harmonic(cfg.Apps, cfg.ZipfGlobal)
+	sc := clusterSize(cfg)
+	hc = dist.Harmonic(sc, cfg.ZipfCluster)
+	return hg, hc
+}
+
+func clusterSize(cfg Config) int {
+	c := cfg.Clusters
+	if cfg.ClusterMap != nil {
+		c = cfg.ClusterMap.Clusters()
+	}
+	if c < 1 {
+		c = 1
+	}
+	sc := (cfg.Apps + c - 1) / c
+	if sc < 1 {
+		sc = 1
+	}
+	return sc
+}
+
+// exposureT solves sum_i (1 - exp(-probs[i]*t)) = n for t >= 0 by bisection.
+// The left side is the expected number of distinct items captured by
+// weighted sampling without replacement when the process is Poissonized
+// with exposure t; inverting it yields per-item inclusion probabilities
+// 1 - exp(-p_i * t) that closely approximate drawing exactly n distinct
+// items by rejection — which is what the simulators (and the paper's
+// simulators) actually do. When n >= len(probs) the solution diverges;
+// +Inf is returned and the caller treats every item as included.
+func exposureT(probs []float64, n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if n >= float64(len(probs)) {
+		return math.Inf(1)
+	}
+	captured := func(t float64) float64 {
+		s := 0.0
+		for _, p := range probs {
+			s += 1 - math.Exp(-p*t)
+		}
+		return s
+	}
+	// Bracket the root by doubling.
+	lo, hi := 0.0, 1.0
+	for captured(hi) < n {
+		hi *= 2
+		if math.IsInf(hi, 1) {
+			return hi
+		}
+	}
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		if captured(mid) < n {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// inclusion returns 1 - exp(-p*t), handling t = +Inf.
+func inclusion(p, t float64) float64 {
+	if math.IsInf(t, 1) {
+		if p > 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - math.Exp(-p*t)
+}
+
+// zipfProbs returns the bounded Zipf pmf over ranks 1..n with exponent s.
+func zipfProbs(n int, s float64) []float64 {
+	h := dist.Harmonic(n, s)
+	ps := make([]float64, n)
+	for i := 1; i <= n; i++ {
+		ps[i-1] = math.Pow(float64(i), -s) / h
+	}
+	return ps
+}
+
+// PredictCurve returns the analytic expected rank-downloads curve for the
+// given model kind, sorted descending — the object the distance metric
+// (Eq. 6) compares against observed data.
+//
+// The prediction refines the paper's Eq. 5 in two ways so that it tracks
+// the Monte Carlo simulators:
+//
+//  1. Fetch-at-most-once is modeled with the exposure (Poissonization)
+//     approximation of weighted sampling without replacement rather than
+//     d independent with-replacement draws, capturing the probability
+//     boost that rejection re-draws give less popular apps.
+//  2. Cluster-based draws only reach an app when the user's sticky cluster
+//     is the app's cluster, which happens with probability equal to the
+//     cluster's share of global popularity mass (1/C for equal interleaved
+//     clusters), instead of probability 1.
+//
+// Apps are assumed indexed by global appeal rank (app 0 = rank 1), the
+// convention RoundRobin and the simulators share.
+func PredictCurve(kind Kind, cfg Config) dist.RankCurve {
+	vals := make([]float64, cfg.Apps)
+	pg := zipfProbs(cfg.Apps, cfg.ZipfGlobal)
+	u := float64(cfg.Users)
+	d := cfg.DownloadsPerUser
+	switch kind {
+	case Zipf:
+		for i := range vals {
+			vals[i] = u * d * pg[i]
+		}
+	case ZipfAtMostOnce:
+		t := exposureT(pg, d)
+		for i := range vals {
+			vals[i] = u * inclusion(pg[i], t)
+		}
+	case AppClustering:
+		cm := cfg.ClusterMap
+		if cm == nil {
+			cm = RoundRobin(cfg.Apps, cfg.Clusters)
+		}
+		// Global component exposure covers the (1-p)*d global draws.
+		tg := exposureT(pg, (1-cfg.ClusterP)*d)
+		// Per-cluster visit mass: probability a user's sticky cluster is c,
+		// estimated by the cluster's share of global popularity (first
+		// downloads and cluster re-selection are both seeded by ZG).
+		for _, members := range cm.Members {
+			if len(members) == 0 {
+				continue
+			}
+			mass := 0.0
+			for _, app := range members {
+				mass += pg[app]
+			}
+			pc := zipfProbs(len(members), cfg.ZipfCluster)
+			// A user committed to this cluster spends p*d draws in it.
+			tc := exposureT(pc, cfg.ClusterP*d)
+			for j, app := range members {
+				inG := inclusion(pg[app], tg)
+				inC := inclusion(pc[j], tc)
+				// P(download) = 1 - P(miss globally) * P(miss via cluster),
+				// where the cluster miss is 1 unless the user's cluster is
+				// this one (probability mass).
+				vals[app] = u * (1 - (1-inG)*(1-mass*inC))
+			}
+		}
+	}
+	return dist.NewRankCurve(vals)
+}
+
+// Distance computes the paper's Eq. 6 metric between an observed curve and
+// this model's predicted curve.
+func Distance(kind Kind, cfg Config, observed dist.RankCurve) float64 {
+	return dist.MeanRelativeError(observed, PredictCurve(kind, cfg))
+}

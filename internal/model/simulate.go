@@ -1,0 +1,245 @@
+package model
+
+import (
+	"fmt"
+
+	"planetapps/internal/dist"
+	"planetapps/internal/rng"
+)
+
+// Simulator runs one of the three workload models as a Monte Carlo
+// simulation over Config. A Simulator precomputes the sampling tables and
+// may be reused across runs and seeds; runs are independent.
+type Simulator struct {
+	kind Kind
+	cfg  Config
+
+	global *dist.Zipf
+	cm     *ClusterMap
+	// clusterDist[c] is the within-cluster Zipf over cluster c's members.
+	// Distributions are shared between clusters of equal size.
+	clusterDist []*dist.Zipf
+}
+
+// NewSimulator validates the configuration and precomputes sampler state.
+func NewSimulator(kind Kind, cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(kind); err != nil {
+		return nil, err
+	}
+	s := &Simulator{kind: kind, cfg: cfg}
+	var err error
+	s.global, err = dist.NewZipf(cfg.Apps, cfg.ZipfGlobal)
+	if err != nil {
+		return nil, err
+	}
+	if kind == AppClustering {
+		s.cm = cfg.ClusterMap
+		if s.cm == nil {
+			s.cm = RoundRobin(cfg.Apps, cfg.Clusters)
+		}
+		bySize := map[int]*dist.Zipf{}
+		s.clusterDist = make([]*dist.Zipf, s.cm.Clusters())
+		for c, members := range s.cm.Members {
+			n := len(members)
+			if n == 0 {
+				continue
+			}
+			z, ok := bySize[n]
+			if !ok {
+				z, err = dist.NewZipf(n, cfg.ZipfCluster)
+				if err != nil {
+					return nil, err
+				}
+				bySize[n] = z
+			}
+			s.clusterDist[c] = z
+		}
+	}
+	return s, nil
+}
+
+// Kind returns the model kind this simulator runs.
+func (s *Simulator) Kind() Kind { return s.kind }
+
+// Config returns the configuration the simulator was built with.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// maxRetries bounds the rejection loop when re-drawing an already-downloaded
+// app. After the cap the sampler falls back to a deterministic scan so the
+// simulation always terminates, even for degenerate configurations where a
+// user has downloaded nearly everything.
+const maxRetries = 64
+
+// userState tracks one simulated user's history. The zero value is a user
+// with no downloads.
+type userState struct {
+	// downloaded marks apps this user has fetched (fetch-at-most-once).
+	// It is allocated lazily on the first download.
+	downloaded map[int32]struct{}
+	// history lists previous downloads in order; APP-CLUSTERING picks the
+	// cluster of a uniformly random element (§5.1 step 2.1: "randomly
+	// chosen from previous downloads with a uniform probability").
+	history []int32
+}
+
+func (u *userState) has(app int32) bool {
+	_, ok := u.downloaded[app]
+	return ok
+}
+
+func (u *userState) record(app int32) {
+	if u.downloaded == nil {
+		u.downloaded = make(map[int32]struct{}, 8)
+	}
+	u.downloaded[app] = struct{}{}
+	u.history = append(u.history, app)
+}
+
+// nextZipf draws from the global Zipf; when atMostOnce, it rejects apps the
+// user already has, falling back to the best-ranked unseen app after
+// maxRetries. The second return is false only if every app is downloaded.
+func (s *Simulator) nextZipf(r *rng.RNG, u *userState, atMostOnce bool) (int32, bool) {
+	for try := 0; try < maxRetries; try++ {
+		app := int32(s.global.Sample(r) - 1)
+		if !atMostOnce || !u.has(app) {
+			return app, true
+		}
+	}
+	// Fallback: first unseen app by global rank.
+	for i := 0; i < s.cfg.Apps; i++ {
+		if !u.has(int32(i)) {
+			return int32(i), true
+		}
+	}
+	return 0, false
+}
+
+// nextClustered draws one APP-CLUSTERING download for a user with history.
+// With probability p it redraws within the cluster of a random previous
+// download (step 2.1); otherwise from the global distribution (step 2.2).
+// Both branches respect fetch-at-most-once.
+func (s *Simulator) nextClustered(r *rng.RNG, u *userState) (int32, bool) {
+	if len(u.history) == 0 || !r.Bool(s.cfg.ClusterP) {
+		return s.nextZipf(r, u, true)
+	}
+	for try := 0; try < maxRetries; try++ {
+		prev := u.history[r.Intn(len(u.history))]
+		c := s.cm.OfApp[prev]
+		members := s.cm.Members[c]
+		app := members[s.clusterDist[c].Sample(r)-1]
+		if !u.has(app) {
+			return app, true
+		}
+	}
+	// Fallback: best-ranked unseen app in the cluster of the user's first
+	// download, else a global draw.
+	c := s.cm.OfApp[u.history[0]]
+	for _, app := range s.cm.Members[c] {
+		if !u.has(app) {
+			return app, true
+		}
+	}
+	return s.nextZipf(r, u, true)
+}
+
+// nextDownload advances one user by one download under the simulator's model.
+func (s *Simulator) nextDownload(r *rng.RNG, u *userState) (int32, bool) {
+	switch s.kind {
+	case Zipf:
+		return s.nextZipf(r, u, false)
+	case ZipfAtMostOnce:
+		return s.nextZipf(r, u, true)
+	case AppClustering:
+		return s.nextClustered(r, u)
+	default:
+		panic(fmt.Sprintf("model: unknown kind %d", int(s.kind)))
+	}
+}
+
+// Run simulates all users and returns per-app download totals. The run is
+// deterministic in (simulator config, seed).
+func (s *Simulator) Run(seed uint64) Result {
+	r := rng.New(seed)
+	res := Result{Downloads: make([]int64, s.cfg.Apps)}
+	var u userState
+	for i := 0; i < s.cfg.Users; i++ {
+		n := userDownloads(r, s.cfg.DownloadsPerUser)
+		if n > s.cfg.Apps {
+			n = s.cfg.Apps
+		}
+		// Reset per-user state, reusing the map to reduce allocation.
+		u.history = u.history[:0]
+		for k := range u.downloaded {
+			delete(u.downloaded, k)
+		}
+		for k := 0; k < n; k++ {
+			app, ok := s.nextDownload(r, &u)
+			if !ok {
+				break
+			}
+			u.record(app)
+			res.Downloads[app]++
+			res.Total++
+		}
+	}
+	return res
+}
+
+// Event is one simulated download in a time-ordered stream.
+type Event struct {
+	// User is the downloading user's index.
+	User int32
+	// App is the downloaded app's index.
+	App int32
+}
+
+// Stream generates the same workload as Run but interleaved across users in
+// a global random order, approximating concurrent arrivals at the store —
+// the order a delivery cache observes. Events are delivered to fn; a false
+// return stops the stream early. Stream returns the number of events
+// delivered.
+//
+// Memory is O(U + total downloads recorded per active user); per-user
+// download sets are freed as users finish.
+func (s *Simulator) Stream(seed uint64, fn func(Event) bool) int64 {
+	r := rng.New(seed)
+	remaining := make([]int, s.cfg.Users)
+	active := make([]int32, 0, s.cfg.Users)
+	for i := range remaining {
+		n := userDownloads(r, s.cfg.DownloadsPerUser)
+		if n > s.cfg.Apps {
+			n = s.cfg.Apps
+		}
+		remaining[i] = n
+		if n > 0 {
+			active = append(active, int32(i))
+		}
+	}
+	states := make(map[int32]*userState, 1024)
+	var count int64
+	for len(active) > 0 {
+		idx := r.Intn(len(active))
+		user := active[idx]
+		u := states[user]
+		if u == nil {
+			u = &userState{}
+			states[user] = u
+		}
+		app, ok := s.nextDownload(r, u)
+		if ok {
+			u.record(app)
+			count++
+			if !fn(Event{User: user, App: app}) {
+				return count
+			}
+		}
+		remaining[user]--
+		if remaining[user] == 0 || !ok {
+			// Swap-remove the finished user and drop its state.
+			active[idx] = active[len(active)-1]
+			active = active[:len(active)-1]
+			delete(states, user)
+		}
+	}
+	return count
+}

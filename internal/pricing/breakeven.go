@@ -1,0 +1,186 @@
+package pricing
+
+import (
+	"fmt"
+	"sort"
+
+	"planetapps/internal/catalog"
+	"planetapps/internal/snapshot"
+)
+
+// BreakEvenAdIncome implements the paper's Eq. 7: the per-download ad
+// income a free app must earn to match the income of an average paid app,
+//
+//	AdIncome = (sum over paid apps of downloads*price / Npaid)
+//	         / (sum over free-with-ads apps of downloads / Nfree)
+//
+// Only free apps carrying ad libraries enter the denominator (the paper
+// considers "only free apps with ads in this analysis"). It returns an
+// error when the dataset lacks paid apps or ad-carrying free apps.
+func BreakEvenAdIncome(d Dataset) (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	return breakEven(d, func(*catalog.App) bool { return true })
+}
+
+// breakEven computes Eq. 7 over the apps selected by keep.
+func breakEven(d Dataset, keep func(*catalog.App) bool) (float64, error) {
+	var paidRevenue, freeDownloads float64
+	var nPaid, nFree int
+	for i := range d.Catalog.Apps {
+		a := &d.Catalog.Apps[i]
+		if !keep(a) {
+			continue
+		}
+		if a.Pricing == catalog.Paid {
+			paidRevenue += float64(d.Downloads[i]) * a.Price
+			nPaid++
+		} else if a.HasAds {
+			freeDownloads += float64(d.Downloads[i])
+			nFree++
+		}
+	}
+	if nPaid == 0 {
+		return 0, fmt.Errorf("pricing: no paid apps for break-even analysis")
+	}
+	if nFree == 0 || freeDownloads == 0 {
+		return 0, fmt.Errorf("pricing: no ad-carrying free apps with downloads")
+	}
+	return (paidRevenue / float64(nPaid)) / (freeDownloads / float64(nFree)), nil
+}
+
+// PopularityTier partitions free apps by download rank, mirroring
+// Figure 17: the top 20% most downloaded, the middle 50%, and the bottom
+// 30%.
+type PopularityTier int
+
+// Tiers in Figure 17's order.
+const (
+	TierPopular PopularityTier = iota
+	TierMedium
+	TierUnpopular
+)
+
+func (t PopularityTier) String() string {
+	switch t {
+	case TierPopular:
+		return "most popular (top 20%)"
+	case TierMedium:
+		return "medium (next 50%)"
+	case TierUnpopular:
+		return "unpopular (bottom 30%)"
+	default:
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+}
+
+// BreakEvenByTier computes the break-even ad income for each popularity
+// tier of ad-carrying free apps, against the average paid app (Figure 17's
+// three curves at a single point in time).
+func BreakEvenByTier(d Dataset) (map[PopularityTier]float64, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	// Rank ad-carrying free apps by downloads.
+	type fa struct {
+		id catalog.AppID
+		dl int64
+	}
+	var frees []fa
+	for i := range d.Catalog.Apps {
+		a := &d.Catalog.Apps[i]
+		if a.Pricing == catalog.Free && a.HasAds {
+			frees = append(frees, fa{a.ID, d.Downloads[i]})
+		}
+	}
+	if len(frees) == 0 {
+		return nil, fmt.Errorf("pricing: no ad-carrying free apps")
+	}
+	sort.Slice(frees, func(i, j int) bool { return frees[i].dl > frees[j].dl })
+	tierOf := make(map[catalog.AppID]PopularityTier, len(frees))
+	n := len(frees)
+	for idx, f := range frees {
+		switch {
+		case idx < n*20/100:
+			tierOf[f.id] = TierPopular
+		case idx < n*70/100:
+			tierOf[f.id] = TierMedium
+		default:
+			tierOf[f.id] = TierUnpopular
+		}
+	}
+	out := map[PopularityTier]float64{}
+	for _, tier := range []PopularityTier{TierPopular, TierMedium, TierUnpopular} {
+		tier := tier
+		v, err := breakEven(d, func(a *catalog.App) bool {
+			if a.Pricing == catalog.Paid {
+				return true
+			}
+			t, ok := tierOf[a.ID]
+			return ok && t == tier
+		})
+		if err != nil {
+			return nil, err
+		}
+		out[tier] = v
+	}
+	return out, nil
+}
+
+// BreakEvenByCategory computes the break-even ad income within each
+// category, comparing ad-carrying free apps to paid apps of the same
+// category (Figure 18). Categories lacking either side are skipped.
+func BreakEvenByCategory(d Dataset) (map[catalog.CategoryID]float64, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	out := map[catalog.CategoryID]float64{}
+	for c := range d.Catalog.Categories {
+		cid := catalog.CategoryID(c)
+		v, err := breakEven(d, func(a *catalog.App) bool { return a.Category == cid })
+		if err != nil {
+			continue
+		}
+		out[cid] = v
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("pricing: no category had both paid and ad-carrying free apps")
+	}
+	return out, nil
+}
+
+// BreakEvenOverTime evaluates the overall and per-tier break-even income on
+// every day of a snapshot series (Figure 17's time axis). It returns one
+// value per day; days where the computation is undefined carry NaN-free
+// zero values and ok=false in the mask.
+func BreakEvenOverTime(cat *catalog.Catalog, s *snapshot.Series) (days []int, overall []float64, byTier []map[PopularityTier]float64, err error) {
+	if s == nil || len(s.Days) == 0 {
+		return nil, nil, nil, fmt.Errorf("pricing: empty series")
+	}
+	for _, day := range s.Days {
+		d := Dataset{Catalog: cat, Downloads: day.CumulativeDownloads}
+		// The catalog holds the final population; earlier days cover a
+		// prefix of apps. Restrict to the day's apps via a padded copy.
+		if len(d.Downloads) < cat.NumApps() {
+			padded := make([]int64, cat.NumApps())
+			copy(padded, d.Downloads)
+			d.Downloads = padded
+		}
+		v, verr := BreakEvenAdIncome(d)
+		if verr != nil {
+			continue
+		}
+		tiers, terr := BreakEvenByTier(d)
+		if terr != nil {
+			continue
+		}
+		days = append(days, day.Index)
+		overall = append(overall, v)
+		byTier = append(byTier, tiers)
+	}
+	if len(days) == 0 {
+		return nil, nil, nil, fmt.Errorf("pricing: no day supported the break-even analysis")
+	}
+	return days, overall, byTier, nil
+}

@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"planetapps/internal/rng"
+)
+
+// KendallTau returns Kendall's tau-b rank correlation between xs and ys —
+// a robust alternative to Pearson for the heavy-tailed quantities this
+// repository deals in (downloads, incomes), where a single outlier can
+// dominate the product-moment coefficient. Tau-b corrects for ties. It
+// returns 0 for mismatched or sub-2-length inputs or when either input is
+// entirely tied.
+//
+// Complexity is O(n^2); the analyses here compare at most a few thousand
+// pairs, where the simple algorithm is both fast enough and obviously
+// correct.
+func KendallTau(xs, ys []float64) float64 {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return 0
+	}
+	var concordant, discordant float64
+	var tiesX, tiesY float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := xs[i] - xs[j]
+			dy := ys[i] - ys[j]
+			switch {
+			case dx == 0 && dy == 0:
+				// Joint tie: contributes to neither denominator term.
+			case dx == 0:
+				tiesX++
+			case dy == 0:
+				tiesY++
+			case (dx > 0) == (dy > 0):
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	nx := concordant + discordant + tiesX
+	ny := concordant + discordant + tiesY
+	if nx == 0 || ny == 0 {
+		return 0
+	}
+	return (concordant - discordant) / math.Sqrt(nx*ny)
+}
+
+// BootstrapCI returns a percentile bootstrap confidence interval for an
+// arbitrary statistic of a sample: resamples copies of xs with
+// replacement, applies stat to each, and returns the (alpha/2, 1-alpha/2)
+// percentiles of the resampled statistics. Deterministic in the seed.
+func BootstrapCI(xs []float64, stat func([]float64) float64, resamples int, alpha float64, seed uint64) (lo, hi float64) {
+	if len(xs) == 0 || resamples < 1 {
+		return 0, 0
+	}
+	if alpha <= 0 || alpha >= 1 {
+		alpha = 0.05
+	}
+	r := rng.New(seed)
+	vals := make([]float64, resamples)
+	buf := make([]float64, len(xs))
+	for b := 0; b < resamples; b++ {
+		for i := range buf {
+			buf[i] = xs[r.Intn(len(xs))]
+		}
+		vals[b] = stat(buf)
+	}
+	sort.Float64s(vals)
+	return percentileSorted(vals, 100*alpha/2), percentileSorted(vals, 100*(1-alpha/2))
+}

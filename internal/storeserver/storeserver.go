@@ -1,0 +1,373 @@
+// Package storeserver exposes a synthetic appstore over HTTP, standing in
+// for the live marketplaces the paper crawled. It serves a paginated JSON
+// catalog, per-app detail and comment pages, and store-level statistics,
+// with token-bucket rate limiting per client IP — the defense the real
+// Chinese stores applied that forced the paper's authors to proxy through
+// PlanetLab nodes in China.
+//
+// The server wraps a marketsim.Market; calling AdvanceDay steps the
+// simulated market so consecutive crawls observe evolving statistics.
+package storeserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"planetapps/internal/catalog"
+	"planetapps/internal/comments"
+	"planetapps/internal/marketsim"
+)
+
+// AppJSON is the wire representation of one app listing.
+type AppJSON struct {
+	ID        int32   `json:"id"`
+	Name      string  `json:"name"`
+	Category  string  `json:"category"`
+	Developer string  `json:"developer"`
+	Paid      bool    `json:"paid"`
+	Price     float64 `json:"price"`
+	HasAds    bool    `json:"has_ads"`
+	SizeMB    float64 `json:"size_mb"`
+	Version   int     `json:"version"`
+	Downloads int64   `json:"downloads"`
+}
+
+// PageJSON is one page of the app listing.
+type PageJSON struct {
+	Apps  []AppJSON `json:"apps"`
+	Page  int       `json:"page"`
+	Pages int       `json:"pages"`
+	Total int       `json:"total"`
+}
+
+// CommentJSON is the wire representation of one comment.
+type CommentJSON struct {
+	User     int32 `json:"user"`
+	Rating   int8  `json:"rating"`
+	UnixTime int64 `json:"t"`
+}
+
+// StatsJSON is the store-level statistics document.
+type StatsJSON struct {
+	Store          string `json:"store"`
+	Day            int    `json:"day"`
+	Apps           int    `json:"apps"`
+	TotalDownloads int64  `json:"total_downloads"`
+}
+
+// Config controls server behaviour.
+type Config struct {
+	// PageSize is the number of apps per listing page.
+	PageSize int
+	// RatePerSec is the per-client sustained request rate; <= 0 disables
+	// rate limiting.
+	RatePerSec float64
+	// Burst is the per-client token bucket depth.
+	Burst int
+	// Latency is an artificial per-request service delay.
+	Latency time.Duration
+}
+
+// DefaultConfig returns a config suitable for in-process crawling tests.
+func DefaultConfig() Config {
+	return Config{PageSize: 100, RatePerSec: 200, Burst: 50}
+}
+
+// Server serves one simulated appstore.
+type Server struct {
+	cfg Config
+
+	mu       sync.RWMutex
+	market   *marketsim.Market
+	comments map[catalog.AppID][]CommentJSON
+
+	limMu   sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// New creates a server over a market. Comment streams may be attached with
+// SetComments.
+func New(m *marketsim.Market, cfg Config) *Server {
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = 100
+	}
+	return &Server{
+		cfg:      cfg,
+		market:   m,
+		comments: map[catalog.AppID][]CommentJSON{},
+		buckets:  map[string]*bucket{},
+	}
+}
+
+// SetComments attaches a generated comment stream, grouped per app, served
+// at /api/apps/{id}/comments.
+func (s *Server) SetComments(cs []comments.Comment) {
+	grouped := map[catalog.AppID][]CommentJSON{}
+	for _, c := range cs {
+		grouped[c.App] = append(grouped[c.App], CommentJSON{
+			User: int32(c.User), Rating: c.Rating, UnixTime: c.Time.Unix(),
+		})
+	}
+	s.mu.Lock()
+	s.comments = grouped
+	s.mu.Unlock()
+}
+
+// AdvanceDay steps the underlying market one simulated day.
+func (s *Server) AdvanceDay() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.market.Step()
+}
+
+// Day returns the market's current day.
+func (s *Server) Day() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.market.Day()
+}
+
+// Handler returns the HTTP handler serving the store API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/stats", s.handleStats)
+	mux.HandleFunc("GET /api/apps", s.handleList)
+	mux.HandleFunc("GET /api/apps/{id}", s.handleApp)
+	mux.HandleFunc("GET /api/apps/{id}/comments", s.handleComments)
+	mux.HandleFunc("GET /api/apps/{id}/apk", s.handleAPK)
+	return s.limit(mux)
+}
+
+// limit applies per-client token-bucket rate limiting.
+func (s *Server) limit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.RatePerSec > 0 && !s.allow(clientKey(r)) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+			return
+		}
+		if s.cfg.Latency > 0 {
+			time.Sleep(s.cfg.Latency)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// clientKey identifies the requesting client: the last X-Forwarded-For hop
+// if present (requests arriving via the proxy fleet), else the remote IP.
+func clientKey(r *http.Request) string {
+	if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
+		return xff
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+func (s *Server) allow(key string) bool {
+	now := time.Now()
+	s.limMu.Lock()
+	defer s.limMu.Unlock()
+	b, ok := s.buckets[key]
+	if !ok {
+		b = &bucket{tokens: float64(s.cfg.Burst), last: now}
+		s.buckets[key] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * s.cfg.RatePerSec
+	if b.tokens > float64(s.cfg.Burst) {
+		b.tokens = float64(s.cfg.Burst)
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+func (s *Server) appJSON(i int) AppJSON {
+	cat := s.market.Catalog()
+	a := &cat.Apps[i]
+	return AppJSON{
+		ID:        int32(a.ID),
+		Name:      fmt.Sprintf("%s-app-%05d", cat.Name, a.ID),
+		Category:  cat.Categories[a.Category].Name,
+		Developer: cat.Developers[a.Dev].Name,
+		Paid:      a.Pricing == catalog.Paid,
+		Price:     a.Price,
+		HasAds:    a.HasAds,
+		SizeMB:    a.SizeMB,
+		Version:   a.Versions,
+		Downloads: s.market.Downloads()[i],
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	for _, d := range s.market.Downloads() {
+		total += d
+	}
+	writeJSON(w, StatsJSON{
+		Store:          s.market.Catalog().Name,
+		Day:            s.market.Day(),
+		Apps:           s.market.Catalog().NumApps(),
+		TotalDownloads: total,
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	page := 0
+	if p := r.URL.Query().Get("page"); p != "" {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 {
+			http.Error(w, "bad page", http.StatusBadRequest)
+			return
+		}
+		page = v
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := s.market.Catalog().NumApps()
+	pages := (total + s.cfg.PageSize - 1) / s.cfg.PageSize
+	if pages == 0 {
+		pages = 1
+	}
+	if page >= pages {
+		http.Error(w, "page out of range", http.StatusNotFound)
+		return
+	}
+	lo := page * s.cfg.PageSize
+	hi := lo + s.cfg.PageSize
+	if hi > total {
+		hi = total
+	}
+	out := PageJSON{Page: page, Pages: pages, Total: total}
+	for i := lo; i < hi; i++ {
+		out.Apps = append(out.Apps, s.appJSON(i))
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleApp(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.pathID(w, r)
+	if !ok {
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if int(id) >= s.market.Catalog().NumApps() {
+		http.Error(w, "no such app", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, s.appJSON(int(id)))
+}
+
+func (s *Server) handleComments(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.pathID(w, r)
+	if !ok {
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if int(id) >= s.market.Catalog().NumApps() {
+		http.Error(w, "no such app", http.StatusNotFound)
+		return
+	}
+	cs := s.comments[catalog.AppID(id)]
+	if cs == nil {
+		cs = []CommentJSON{}
+	}
+	writeJSON(w, cs)
+}
+
+// apkScale converts an app's SizeMB into served bytes. Full-size APK
+// payloads (megabytes x thousands of apps x daily crawls) would dominate
+// test time for no modeling benefit, so one "MB" is served as 1 KiB; the
+// crawler's version-aware transfer accounting is what the experiments
+// exercise.
+const apkScale = 1024
+
+// handleAPK serves the app's current package as deterministic pseudo-random
+// bytes. The payload depends on (app, version), and the response carries an
+// ETag of the version so a version-aware crawler can avoid re-downloads
+// ("we download each app version only once").
+func (s *Server) handleAPK(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.pathID(w, r)
+	if !ok {
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cat := s.market.Catalog()
+	if int(id) >= cat.NumApps() {
+		http.Error(w, "no such app", http.StatusNotFound)
+		return
+	}
+	a := &cat.Apps[int(id)]
+	etag := fmt.Sprintf(`"v%d"`, a.Versions)
+	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	size := int(a.SizeMB * apkScale)
+	if size < 16 {
+		size = 16
+	}
+	w.Header().Set("Content-Type", "application/vnd.android.package-archive")
+	w.Header().Set("Content-Length", fmt.Sprint(size))
+	// Deterministic payload from (app, version) via a tiny xorshift
+	// stream; cheap and reproducible without buffering the whole body.
+	state := uint64(id)<<32 | uint64(a.Versions) | 1
+	buf := make([]byte, 4096)
+	for size > 0 {
+		n := len(buf)
+		if size < n {
+			n = size
+		}
+		for i := 0; i < n; i += 8 {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			for b := 0; b < 8 && i+b < n; b++ {
+				buf[i+b] = byte(state >> (8 * b))
+			}
+		}
+		if _, err := w.Write(buf[:n]); err != nil {
+			return
+		}
+		size -= n
+	}
+}
+
+func (s *Server) pathID(w http.ResponseWriter, r *http.Request) (int32, bool) {
+	v, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
+	if err != nil || v < 0 {
+		http.Error(w, "bad app id", http.StatusBadRequest)
+		return 0, false
+	}
+	return int32(v), true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Headers are already out; nothing useful to send.
+		return
+	}
+}

@@ -1,0 +1,254 @@
+package storeserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"planetapps/internal/catalog"
+	"planetapps/internal/comments"
+	"planetapps/internal/marketsim"
+)
+
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	mcfg := marketsim.DefaultConfig(catalog.Profiles["slideme"].Scale(0.2))
+	mcfg.Days = 10
+	m, err := marketsim.New(mcfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(m, cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestStats(t *testing.T) {
+	_, ts := testServer(t, Config{PageSize: 50})
+	var st StatsJSON
+	if code := getJSON(t, ts.URL+"/api/stats", &st); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if st.Store != "slideme" || st.Apps == 0 || st.TotalDownloads == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestListingPagination(t *testing.T) {
+	_, ts := testServer(t, Config{PageSize: 100})
+	var first PageJSON
+	if code := getJSON(t, ts.URL+"/api/apps?page=0", &first); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(first.Apps) != 100 {
+		t.Fatalf("page 0 has %d apps", len(first.Apps))
+	}
+	seen := map[int32]bool{}
+	total := 0
+	for p := 0; p < first.Pages; p++ {
+		var page PageJSON
+		if code := getJSON(t, fmt.Sprintf("%s/api/apps?page=%d", ts.URL, p), &page); code != 200 {
+			t.Fatalf("page %d: status %d", p, code)
+		}
+		for _, a := range page.Apps {
+			if seen[a.ID] {
+				t.Fatalf("app %d repeated across pages", a.ID)
+			}
+			seen[a.ID] = true
+			total++
+		}
+	}
+	if total != first.Total {
+		t.Fatalf("walked %d apps, total says %d", total, first.Total)
+	}
+}
+
+func TestListingErrors(t *testing.T) {
+	_, ts := testServer(t, Config{PageSize: 100})
+	var out PageJSON
+	if code := getJSON(t, ts.URL+"/api/apps?page=badnum", &out); code != 400 {
+		t.Fatalf("bad page param: status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/api/apps?page=100000", &out); code != 404 {
+		t.Fatalf("out of range page: status %d", code)
+	}
+}
+
+func TestAppDetail(t *testing.T) {
+	_, ts := testServer(t, Config{PageSize: 50})
+	var app AppJSON
+	if code := getJSON(t, ts.URL+"/api/apps/0", &app); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if app.ID != 0 || app.Category == "" || app.Developer == "" {
+		t.Fatalf("app = %+v", app)
+	}
+	if code := getJSON(t, ts.URL+"/api/apps/99999999", &app); code != 404 {
+		t.Fatalf("missing app: status %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/api/apps/abc", &app); code != 400 {
+		t.Fatalf("bad id: status %d", code)
+	}
+}
+
+func TestCommentsEndpoint(t *testing.T) {
+	s, ts := testServer(t, Config{PageSize: 50})
+	cfg := comments.DefaultGenConfig(200)
+	// Generate over the server's catalog via a fresh market? Use the same
+	// catalog through the server's market: regenerate deterministically.
+	mcfg := marketsim.DefaultConfig(catalog.Profiles["slideme"].Scale(0.2))
+	mcfg.Days = 10
+	m, err := marketsim.New(mcfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := comments.Generate(m.Catalog(), cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetComments(cs)
+	var total int
+	for id := 0; id < 50; id++ {
+		var out []CommentJSON
+		if code := getJSON(t, fmt.Sprintf("%s/api/apps/%d/comments", ts.URL, id), &out); code != 200 {
+			t.Fatalf("status %d", code)
+		}
+		total += len(out)
+	}
+	if total == 0 {
+		t.Fatal("no comments served over 50 apps")
+	}
+}
+
+func TestRateLimiting(t *testing.T) {
+	_, ts := testServer(t, Config{PageSize: 50, RatePerSec: 5, Burst: 3})
+	limited := false
+	for i := 0; i < 10; i++ {
+		resp, err := http.Get(ts.URL + "/api/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			limited = true
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("429 without Retry-After")
+			}
+		}
+	}
+	if !limited {
+		t.Fatal("burst of 10 requests never hit the limit")
+	}
+}
+
+func TestRateLimitPerClient(t *testing.T) {
+	s, _ := testServer(t, Config{PageSize: 50, RatePerSec: 1, Burst: 1})
+	// Distinct X-Forwarded-For chains count as distinct clients.
+	h := s.Handler()
+	status := func(xff string) int {
+		req := httptest.NewRequest(http.MethodGet, "/api/stats", nil)
+		req.Header.Set("X-Forwarded-For", xff)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	if status("1.1.1.1,proxy-a") != 200 {
+		t.Fatal("first client's first request limited")
+	}
+	if status("1.1.1.1,proxy-a") != 429 {
+		t.Fatal("first client's second request not limited")
+	}
+	if status("2.2.2.2,proxy-b") != 200 {
+		t.Fatal("second client limited by first client's bucket")
+	}
+}
+
+func TestAdvanceDay(t *testing.T) {
+	s, ts := testServer(t, Config{PageSize: 50})
+	var before, after StatsJSON
+	getJSON(t, ts.URL+"/api/stats", &before)
+	if err := s.AdvanceDay(); err != nil {
+		t.Fatal(err)
+	}
+	getJSON(t, ts.URL+"/api/stats", &after)
+	if after.Day != before.Day+1 {
+		t.Fatalf("day %d -> %d", before.Day, after.Day)
+	}
+	if after.TotalDownloads <= before.TotalDownloads {
+		t.Fatalf("downloads did not grow: %d -> %d", before.TotalDownloads, after.TotalDownloads)
+	}
+}
+
+func TestAPKEndpoint(t *testing.T) {
+	_, ts := testServer(t, Config{PageSize: 50})
+	resp, err := http.Get(ts.URL + "/api/apps/0/apk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(body) < 16 {
+		t.Fatalf("payload only %d bytes", len(body))
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag")
+	}
+	// Same version: identical payload.
+	resp2, err := http.Get(ts.URL + "/api/apps/0/apk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if !bytes.Equal(body, body2) {
+		t.Fatal("APK payload not deterministic")
+	}
+	// Conditional request with the ETag short-circuits.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/api/apps/0/apk", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body) //nolint:errcheck
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional GET returned %d", resp3.StatusCode)
+	}
+	// Unknown app.
+	resp4, err := http.Get(ts.URL + "/api/apps/999999/apk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	if resp4.StatusCode != 404 {
+		t.Fatalf("missing app returned %d", resp4.StatusCode)
+	}
+}

@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"planetapps/internal/model"
+)
+
+// FuzzReplay feeds arbitrary bytes to the trace reader: it must never
+// panic and must never deliver events outside the declared id spaces.
+func FuzzReplay(f *testing.F) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 100, 100)
+	if err != nil {
+		f.Fatal(err)
+	}
+	w.Write(model.Event{User: 1, App: 2})   //nolint:errcheck
+	w.Write(model.Event{User: 99, App: 99}) //nolint:errcheck
+	w.Flush()                               //nolint:errcheck
+	f.Add(buf.Bytes())
+	f.Add([]byte("PATRACE1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 10000; i++ {
+			e, err := r.Read()
+			if err != nil {
+				return
+			}
+			if int(e.App) >= r.Apps() || int(e.User) >= r.Users() || e.App < 0 || e.User < 0 {
+				t.Fatalf("reader delivered out-of-space event %+v", e)
+			}
+		}
+	})
+}

@@ -1,0 +1,183 @@
+// Package trace serializes workload-model download streams to a compact
+// binary format so generated appstore workloads can drive external systems
+// (cache testbeds, CDN simulators, recommendation pipelines) — the
+// "representative workload generation" role Barford & Crovella's generator
+// plays for web workloads, which the paper cites as the model for its own
+// workload characterization.
+//
+// Format (little-endian, after an 16-byte header):
+//
+//	magic   "PATRACE1"          8 bytes
+//	apps    uint32              app-id space size
+//	users   uint32              user-id space size
+//	events  repeated {user uvarint, app uvarint}
+//
+// Events are delta-free (ids are small by construction); uvarint keeps
+// typical events at 2-5 bytes.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"planetapps/internal/model"
+)
+
+const magic = "PATRACE1"
+
+// Writer streams download events to an underlying writer.
+type Writer struct {
+	bw         *bufio.Writer
+	buf        [2 * binary.MaxVarintLen64]byte
+	events     int64
+	err        error
+	appsSpace  uint64
+	usersSpace uint64
+}
+
+// NewWriter writes the header and returns a Writer. apps and users declare
+// the id spaces; events outside them are rejected.
+func NewWriter(w io.Writer, apps, users int) (*Writer, error) {
+	if apps <= 0 || users <= 0 {
+		return nil, fmt.Errorf("trace: invalid id spaces apps=%d users=%d", apps, users)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(apps))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(users))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{bw: bw, appsSpace: uint64(apps), usersSpace: uint64(users)}, nil
+}
+
+// Write appends one event.
+func (w *Writer) Write(e model.Event) error {
+	if w.err != nil {
+		return w.err
+	}
+	if uint64(e.App) >= w.appsSpace || uint64(e.User) >= w.usersSpace || e.App < 0 || e.User < 0 {
+		w.err = fmt.Errorf("trace: event (%d,%d) outside declared spaces", e.User, e.App)
+		return w.err
+	}
+	n := binary.PutUvarint(w.buf[:], uint64(e.User))
+	n += binary.PutUvarint(w.buf[n:], uint64(e.App))
+	if _, err := w.bw.Write(w.buf[:n]); err != nil {
+		w.err = err
+		return err
+	}
+	w.events++
+	return nil
+}
+
+// Events returns the number of events written so far.
+func (w *Writer) Events() int64 { return w.events }
+
+// Flush flushes buffered output; call before closing the underlying file.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// Reader decodes a trace.
+type Reader struct {
+	br    *bufio.Reader
+	apps  int
+	users int
+}
+
+// NewReader validates the header and returns a Reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic)+8)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if string(head[:len(magic)]) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", head[:len(magic)])
+	}
+	apps := int(binary.LittleEndian.Uint32(head[len(magic):]))
+	users := int(binary.LittleEndian.Uint32(head[len(magic)+4:]))
+	if apps <= 0 || users <= 0 {
+		return nil, fmt.Errorf("trace: invalid header spaces apps=%d users=%d", apps, users)
+	}
+	return &Reader{br: br, apps: apps, users: users}, nil
+}
+
+// Apps returns the declared app-id space size.
+func (r *Reader) Apps() int { return r.apps }
+
+// Users returns the declared user-id space size.
+func (r *Reader) Users() int { return r.users }
+
+// Read returns the next event, or io.EOF at the end of the trace.
+func (r *Reader) Read() (model.Event, error) {
+	user, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return model.Event{}, io.EOF
+		}
+		return model.Event{}, fmt.Errorf("trace: reading user: %w", err)
+	}
+	app, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		// A trailing user id without its app is a truncated trace, never a
+		// clean end: surface it as ErrUnexpectedEOF so callers can
+		// distinguish it from the EOF that ends a well-formed trace.
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return model.Event{}, fmt.Errorf("trace: truncated event: %w", err)
+	}
+	if user >= uint64(r.users) || app >= uint64(r.apps) {
+		return model.Event{}, fmt.Errorf("trace: event (%d,%d) outside declared spaces", user, app)
+	}
+	return model.Event{User: int32(user), App: int32(app)}, nil
+}
+
+// Record generates a workload-model stream and writes it as a trace,
+// returning the event count.
+func Record(w io.Writer, sim *model.Simulator, seed uint64) (int64, error) {
+	tw, err := NewWriter(w, sim.Config().Apps, sim.Config().Users)
+	if err != nil {
+		return 0, err
+	}
+	sim.Stream(seed, func(e model.Event) bool {
+		return tw.Write(e) == nil
+	})
+	if tw.err != nil {
+		return tw.events, tw.err
+	}
+	return tw.events, tw.Flush()
+}
+
+// Replay feeds every event of a trace to fn, stopping early if fn returns
+// false. It returns the number of events delivered.
+func Replay(r io.Reader, fn func(model.Event) bool) (int64, error) {
+	tr, err := NewReader(r)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	for {
+		e, err := tr.Read()
+		if errors.Is(err, io.EOF) {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		n++
+		if !fn(e) {
+			return n, nil
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package planetapps
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProfilesExposed(t *testing.T) {
+	ps := Profiles()
+	for _, name := range []string{"slideme", "1mobile", "appchina", "anzhi"} {
+		if _, ok := ps[name]; !ok {
+			t.Fatalf("profile %q missing", name)
+		}
+	}
+	if _, err := StoreProfile("nope"); err == nil {
+		t.Fatal("unknown store accepted")
+	}
+	p, err := StoreProfile("anzhi")
+	if err != nil || p.Name != "anzhi" {
+		t.Fatalf("StoreProfile: %v %v", p, err)
+	}
+}
+
+func TestGenerateAndSimulate(t *testing.T) {
+	p, _ := StoreProfile("slideme")
+	p = p.Scale(0.1)
+	c, err := GenerateStore(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumApps() != p.Apps {
+		t.Fatalf("catalog has %d apps", c.NumApps())
+	}
+	cfg := DefaultMarketConfig(p)
+	cfg.Days = 10
+	m, series, err := SimulateMarket(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series.Days) != 10 {
+		t.Fatalf("series has %d days", len(series.Days))
+	}
+	if m.Catalog().NumApps() < p.Apps {
+		t.Fatal("market lost apps")
+	}
+}
+
+func TestWorkloadAndFit(t *testing.T) {
+	cfg := WorkloadConfig{
+		Apps: 600, Users: 8000, DownloadsPerUser: 8,
+		ZipfGlobal: 1.4, ZipfCluster: 1.4, ClusterP: 0.9, Clusters: 20,
+	}
+	w, err := NewWorkload(APPClustering, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := w.Run(3)
+	curve := ObservedCurve(res.Downloads)
+	if curve.Total() == 0 {
+		t.Fatal("no downloads")
+	}
+	pred := PredictCurve(APPClustering, cfg)
+	if len(pred.Downloads) != cfg.Apps {
+		t.Fatal("prediction length wrong")
+	}
+	spec := DefaultFitSpec()
+	spec.Users = []int{cfg.Users}
+	fits, err := FitModels(curve, spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fits) != 3 {
+		t.Fatalf("%d fits", len(fits))
+	}
+	if fits[0].Kind != APPClustering {
+		t.Fatalf("best fit is %s", fits[0].Kind)
+	}
+}
+
+func TestAffinityPipeline(t *testing.T) {
+	p, _ := StoreProfile("anzhi")
+	c, err := GenerateStore(p.Scale(0.1), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := GenerateComments(c, 2000, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := AnalyzeAffinity(c, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.OverallMean[0] < 2*an.RandomWalk[0] {
+		t.Fatalf("affinity %v vs baseline %v", an.OverallMean[0], an.RandomWalk[0])
+	}
+}
+
+func TestCacheSweepFacade(t *testing.T) {
+	cfg := WorkloadConfig{
+		Apps: 1000, Users: 4000, DownloadsPerUser: 8,
+		ZipfGlobal: 1.7, ZipfCluster: 1.4, ClusterP: 0.9, Clusters: 30,
+	}
+	pts, err := CacheSweep(cfg, []float64{2, 10}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points", len(pts))
+	}
+	if pts[0].HitRatio["APP-CLUSTERING"] >= pts[0].HitRatio["ZIPF"] {
+		t.Fatal("clustering should hurt the cache")
+	}
+}
+
+func TestAnalyzePricingFacade(t *testing.T) {
+	p, _ := StoreProfile("slideme")
+	cfg := DefaultMarketConfig(p)
+	cfg.Days = 20
+	m, _, err := SimulateMarket(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := AnalyzePricing(m.Catalog(), m.Downloads())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BreakEven <= 0 {
+		t.Fatal("no break-even income")
+	}
+	if rep.FreeCurve.Total() <= rep.PaidCurve.Total() {
+		t.Fatal("free volume should dominate")
+	}
+	if len(rep.Incomes) == 0 {
+		t.Fatal("no incomes")
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	ids := ExperimentIDs()
+	if len(ids) != 24 {
+		t.Fatalf("%d experiments", len(ids))
+	}
+	s, err := NewExperimentSuite(ExperimentConfig{Seed: 3, Scale: 0.15, Days: 10, CommentUsers: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res, err := RunExperiment(s, "T1", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID() != "T1" {
+		t.Fatalf("ID = %s", res.ID())
+	}
+	if !strings.Contains(buf.String(), "anzhi") {
+		t.Fatal("render missing content")
+	}
+	if _, err := RunExperiment(s, "F999", nil); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
