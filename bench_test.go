@@ -7,13 +7,19 @@
 package planetapps_test
 
 import (
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 
 	"planetapps"
+	"planetapps/internal/catalog"
 	"planetapps/internal/experiments"
+	"planetapps/internal/marketsim"
+	"planetapps/internal/metrics"
 	"planetapps/internal/model"
 	"planetapps/internal/pricing"
+	"planetapps/internal/storeserver"
 )
 
 // benchSuite is shared across benchmarks; markets simulate once and cache.
@@ -236,6 +242,90 @@ func BenchmarkWorkloadThroughput(b *testing.B) {
 	b.StopTimer()
 	if total > 0 {
 		b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "downloads/sec")
+	}
+}
+
+// storeBenchHandler builds one instrumented storeserver handler (rate
+// limiter enabled but effectively unlimited, so its cost is measured
+// without 429s) shared across the serving-path benchmarks.
+var (
+	storeBenchOnce sync.Once
+	storeBenchH    http.Handler
+	storeBenchErr  error
+)
+
+func storeHandler(b *testing.B) http.Handler {
+	b.Helper()
+	storeBenchOnce.Do(func() {
+		mcfg := marketsim.DefaultConfig(catalog.Profiles["slideme"].Scale(0.2))
+		m, err := marketsim.New(mcfg, 1)
+		if err != nil {
+			storeBenchErr = err
+			return
+		}
+		storeBenchH = storeserver.New(m, storeserver.Config{
+			PageSize: 100, RatePerSec: 1e12, Burst: 1 << 30,
+		}).Handler()
+	})
+	if storeBenchErr != nil {
+		b.Fatal(storeBenchErr)
+	}
+	return storeBenchH
+}
+
+// BenchmarkStoreListPage measures the listing handler hot path (100-app
+// JSON page) through the limiter and instrumentation middleware.
+func BenchmarkStoreListPage(b *testing.B) {
+	h := storeHandler(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, "/api/apps?page=0", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/sec")
+}
+
+// BenchmarkStoreAppDetail measures the single-app detail hot path.
+func BenchmarkStoreAppDetail(b *testing.B) {
+	h := storeHandler(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, "/api/apps/7", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/sec")
+}
+
+// BenchmarkHistogramObserve measures the telemetry histogram's record path
+// under parallel writers — the per-request overhead the instrumented
+// server pays.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := metrics.NewHistogram()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		v := int64(17)
+		for pb.Next() {
+			h.Observe(v)
+			v = (v*2862933555777941757 + 3037000493) % (1 << 30)
+			if v < 0 {
+				v = -v
+			}
+		}
+	})
+	if h.Count() != int64(b.N) {
+		b.Fatalf("count = %d, want %d", h.Count(), b.N)
 	}
 }
 

@@ -2,6 +2,11 @@
 // for the live marketplaces the paper crawled. It simulates a market for
 // the selected store profile and exposes the paginated JSON API the crawler
 // consumes, optionally advancing one simulated day on a wall-clock timer.
+// Telemetry is exposed at /metrics in the Prometheus text format.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// drain (bounded by a timeout) and a final stats line reports what was
+// served.
 //
 // Usage:
 //
@@ -9,11 +14,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"planetapps"
@@ -32,6 +41,7 @@ func main() {
 		rate     = flag.Float64("rate", 200, "per-client request rate limit (req/s, 0 = off)")
 		burst    = flag.Int("burst", 50, "per-client rate limit burst")
 		comments = flag.Int("comments", 20000, "commenting user population (0 = no comments)")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown deadline for in-flight requests")
 	)
 	flag.Parse()
 
@@ -62,17 +72,51 @@ func main() {
 		}
 		srv.SetComments(cs)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *dayEvery > 0 {
 		go func() {
-			for range time.Tick(*dayEvery) {
-				if err := srv.AdvanceDay(); err != nil {
-					log.Printf("appstored: period complete: %v", err)
+			t := time.NewTicker(*dayEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
 					return
+				case <-t.C:
+					if err := srv.AdvanceDay(); err != nil {
+						log.Printf("appstored: period complete: %v", err)
+						return
+					}
+					log.Printf("appstored: advanced to day %d", srv.Day())
 				}
-				log.Printf("appstored: advanced to day %d", srv.Day())
 			}
 		}()
 	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go func() {
+		<-ctx.Done()
+		log.Printf("appstored: shutting down, draining in-flight requests (max %v)", *drain)
+		sctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("appstored: drain incomplete: %v", err)
+		}
+	}()
+
 	log.Printf("appstored: serving %s (%d apps) on %s", prof.Name, m.Catalog().NumApps(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("appstored: %v", err)
+	}
+	log.Printf("appstored: served %d requests (%d rate-limited, %d client buckets) over %d simulated days",
+		srv.RequestsServed(), srv.RateLimited(), srv.LimiterBuckets(), srv.Day()+1)
 }

@@ -1,0 +1,285 @@
+// Command loadtest replays an appstore workload as live HTTP traffic and
+// reports latency/throughput telemetry — the measured baseline every
+// perf-oriented change is judged against.
+//
+// The workload comes from a recorded binary trace (-trace, see cmd/
+// and internal/trace) or is synthesized live from the paper's workload
+// models. The target is an external store (-target) or an in-process
+// storeserver spun up for the run, in which case the report also echoes
+// the server-side request counters so client and server accounting can be
+// cross-checked.
+//
+// Usage:
+//
+//	loadtest -events 100000 -mode both -stages 400x5s,800x5s -vus 64
+//	loadtest -trace workload.trace -target http://127.0.0.1:8080 -mode open -stages 200x30s
+//	loadtest -mode closed -vus 128 -think 10ms -out report.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"planetapps/internal/catalog"
+	"planetapps/internal/loadgen"
+	"planetapps/internal/marketsim"
+	"planetapps/internal/model"
+	"planetapps/internal/storeserver"
+	"planetapps/internal/trace"
+)
+
+func main() {
+	var (
+		target    = flag.String("target", "", "store base URL; empty starts an in-process storeserver")
+		tracePath = flag.String("trace", "", "binary trace file to replay; empty synthesizes from the workload model")
+		mode      = flag.String("mode", "open", "load discipline: open, closed, or both")
+		stages    = flag.String("stages", "200x5s", "open-loop schedule as RPSxDURATION, comma separated")
+		vus       = flag.Int("vus", 32, "closed-loop virtual users")
+		think     = flag.Duration("think", 2*time.Millisecond, "closed-loop mean think time")
+		warmup    = flag.Duration("warmup", 500*time.Millisecond, "initial window excluded from statistics")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request deadline")
+		inflight  = flag.Int("max-inflight", 4096, "open-loop concurrent request cap")
+		apkEvery  = flag.Int("apk-every", 0, "download the APK for every Nth event (0 = metadata only)")
+		events    = flag.Int64("events", 100000, "stop after replaying this many workload events (0 = source length)")
+		seed      = flag.Uint64("seed", 1, "workload seed")
+		out       = flag.String("out", "", "write the JSON report here instead of stdout")
+
+		modelKind = flag.String("model", "clustering", "synthesized workload model: zipf, zipf-amo, clustering")
+		apps      = flag.Int("apps", 0, "synthesized app population (0 = match in-process catalog, else 5000)")
+		users     = flag.Int("users", 20000, "synthesized user population")
+		dpu       = flag.Float64("dpu", 8, "synthesized mean downloads per user")
+		zipfG     = flag.Float64("zipf", 1.4, "global Zipf exponent")
+		zipfC     = flag.Float64("zipf-cluster", 1.4, "within-cluster Zipf exponent")
+		clusterP  = flag.Float64("cluster-p", 0.9, "clustering probability p")
+		clusters  = flag.Int("clusters", 30, "cluster count")
+
+		store       = flag.String("store", "slideme", "in-process store profile")
+		serverScale = flag.Float64("scale", 0.2, "in-process store population scale")
+		serverRate  = flag.Float64("server-rate", 0, "in-process per-client rate limit (req/s, 0 = off)")
+		serverBurst = flag.Int("server-burst", 50, "in-process rate limit burst")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Resolve the target: external URL or in-process server.
+	baseURL := *target
+	var srv *storeserver.Server
+	if baseURL == "" {
+		prof, ok := catalog.Profiles[*store]
+		if !ok {
+			log.Fatalf("loadtest: unknown store profile %q", *store)
+		}
+		mcfg := marketsim.DefaultConfig(prof.Scale(*serverScale))
+		m, err := marketsim.New(mcfg, *seed)
+		if err != nil {
+			log.Fatalf("loadtest: market: %v", err)
+		}
+		srv = storeserver.New(m, storeserver.Config{
+			PageSize:   100,
+			RatePerSec: *serverRate,
+			Burst:      *serverBurst,
+		})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		baseURL = ts.URL
+		log.Printf("loadtest: in-process %s store (%d apps) at %s",
+			prof.Name, m.Catalog().NumApps(), baseURL)
+		if *apps == 0 {
+			*apps = m.Catalog().NumApps()
+		}
+	}
+	if *apps == 0 {
+		*apps = 5000
+	}
+
+	// Build the workload source factory: each run gets a fresh source over
+	// the same deterministic workload.
+	newSource, srcDesc, err := sourceFactory(ctx, *tracePath, *modelKind, model.Config{
+		Apps: *apps, Users: *users, DownloadsPerUser: *dpu,
+		ZipfGlobal: *zipfG, ZipfCluster: *zipfC, ClusterP: *clusterP, Clusters: *clusters,
+	}, *seed)
+	if err != nil {
+		log.Fatalf("loadtest: %v", err)
+	}
+	log.Printf("loadtest: workload: %s", srcDesc)
+
+	stageList, err := parseStages(*stages)
+	if err != nil {
+		log.Fatalf("loadtest: %v", err)
+	}
+
+	base := loadgen.Config{
+		BaseURL:     baseURL,
+		Stages:      stageList,
+		Users:       *vus,
+		Think:       *think,
+		MaxInFlight: *inflight,
+		Warmup:      *warmup,
+		Timeout:     *timeout,
+		MaxEvents:   *events,
+		APKEvery:    *apkEvery,
+		Seed:        *seed,
+	}
+
+	var modes []loadgen.Mode
+	switch *mode {
+	case "both":
+		modes = []loadgen.Mode{loadgen.OpenLoop, loadgen.ClosedLoop}
+	default:
+		m, err := loadgen.ParseMode(*mode)
+		if err != nil {
+			log.Fatalf("loadtest: %v", err)
+		}
+		modes = []loadgen.Mode{m}
+	}
+
+	combined := map[string]any{}
+	for _, m := range modes {
+		cfg := base
+		cfg.Mode = m
+		g, err := loadgen.New(cfg)
+		if err != nil {
+			log.Fatalf("loadtest: %v", err)
+		}
+		src, err := newSource()
+		if err != nil {
+			log.Fatalf("loadtest: source: %v", err)
+		}
+		log.Printf("loadtest: running %s loop", m)
+		rep, err := g.Run(ctx, src)
+		if err != nil {
+			log.Fatalf("loadtest: %s run: %v", m, err)
+		}
+		combined[m.String()] = rep
+		if rep.Requests == 0 && rep.WarmupRequests > 0 {
+			log.Printf("loadtest: %s: run finished inside the %v warmup — all %d requests excluded; shorten -warmup or lengthen the run",
+				m, *warmup, rep.WarmupRequests)
+		}
+		log.Printf("loadtest: %s: %d events, %d requests, %.0f rps, p50 %.2fms p99 %.2fms, %d limited, %d errors",
+			m, rep.Events, rep.Requests, rep.ThroughputRPS,
+			classLatency(rep).P50, classLatency(rep).P99, rep.RateLimited, rep.Errors)
+	}
+	if srv != nil {
+		combined["server"] = map[string]any{
+			"requests_served": srv.RequestsServed(),
+			"rate_limited":    srv.RateLimited(),
+			"limiter_buckets": srv.LimiterBuckets(),
+		}
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("loadtest: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(combined); err != nil {
+		log.Fatalf("loadtest: writing report: %v", err)
+	}
+}
+
+// classLatency picks the detail-class latency summary for the log line.
+func classLatency(rep *loadgen.Report) loadgen.LatencySummary {
+	for _, c := range rep.Classes {
+		if c.Class == loadgen.ClassDetail {
+			return c.LatencyMS
+		}
+	}
+	return loadgen.LatencySummary{}
+}
+
+// sourceFactory returns a function producing fresh Sources over the same
+// workload: re-opening the trace file, or re-streaming the model with the
+// same seed.
+func sourceFactory(ctx context.Context, tracePath, kind string, cfg model.Config, seed uint64) (func() (loadgen.Source, error), string, error) {
+	if tracePath != "" {
+		// Validate eagerly so flag errors surface before the run.
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return nil, "", err
+		}
+		tr, err := trace.NewReader(f)
+		if err != nil {
+			f.Close()
+			return nil, "", err
+		}
+		desc := fmt.Sprintf("trace %s (%d apps, %d users)", tracePath, tr.Apps(), tr.Users())
+		f.Close()
+		return func() (loadgen.Source, error) {
+			f, err := os.Open(tracePath)
+			if err != nil {
+				return nil, err
+			}
+			tr, err := trace.NewReader(f)
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			return loadgen.NewTraceSource(tr), nil
+		}, desc, nil
+	}
+	var mk model.Kind
+	switch kind {
+	case "zipf":
+		mk = model.Zipf
+	case "zipf-amo":
+		mk = model.ZipfAtMostOnce
+	case "clustering":
+		mk = model.AppClustering
+	default:
+		return nil, "", fmt.Errorf("unknown model %q (want zipf, zipf-amo, clustering)", kind)
+	}
+	sim, err := model.NewSimulator(mk, cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	desc := fmt.Sprintf("live %s model (%d apps, %d users, %.1f downloads/user)",
+		mk, cfg.Apps, cfg.Users, cfg.DownloadsPerUser)
+	return func() (loadgen.Source, error) {
+		return loadgen.NewModelSource(ctx, sim, seed), nil
+	}, desc, nil
+}
+
+// parseStages parses "400x5s,800x10s" into a stage list.
+func parseStages(s string) ([]loadgen.Stage, error) {
+	var out []loadgen.Stage
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		rpsStr, durStr, ok := strings.Cut(part, "x")
+		if !ok {
+			return nil, fmt.Errorf("bad stage %q (want RPSxDURATION, e.g. 400x5s)", part)
+		}
+		var rps float64
+		if _, err := fmt.Sscanf(rpsStr, "%g", &rps); err != nil {
+			return nil, fmt.Errorf("bad stage rate %q: %v", rpsStr, err)
+		}
+		dur, err := time.ParseDuration(durStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad stage duration %q: %v", durStr, err)
+		}
+		out = append(out, loadgen.Stage{RPS: rps, Duration: dur})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no stages in %q", s)
+	}
+	return out, nil
+}

@@ -1,0 +1,373 @@
+// Package loadgen replays workload-model download streams as live HTTP
+// traffic against a storeserver — the missing link between the paper's
+// generative workload models (internal/model, internal/trace) and the
+// ROADMAP's production-scale serving goal. A Generator drives a store in
+// one of two classical load-testing disciplines:
+//
+//   - Open loop: requests are launched on a fixed schedule (target RPS per
+//     ramp stage) regardless of how fast the server responds, the arrival
+//     pattern of independent internet users. Slow responses pile up as
+//     in-flight requests rather than slowing the arrival rate, so latency
+//     under overload is measured honestly (no coordinated omission).
+//   - Closed loop: N virtual users issue a request, wait for the response,
+//     think, and repeat — the session behavior of a device checking an
+//     appstore. Throughput self-regulates with server speed.
+//
+// Every virtual user presents a stable synthetic client address derived
+// from the workload's user id (via X-Forwarded-For, the header the repo's
+// proxy fleet uses), so the store's per-client rate limiter sees the same
+// population structure the workload model generated.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"planetapps/internal/metrics"
+	"planetapps/internal/model"
+)
+
+// Mode selects the load discipline.
+type Mode int
+
+const (
+	// OpenLoop launches requests on a schedule defined by Stages.
+	OpenLoop Mode = iota
+	// ClosedLoop runs Users virtual users with think time.
+	ClosedLoop
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case OpenLoop:
+		return "open"
+	case ClosedLoop:
+		return "closed"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// ParseMode parses "open" or "closed".
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "open":
+		return OpenLoop, nil
+	case "closed":
+		return ClosedLoop, nil
+	default:
+		return 0, fmt.Errorf("loadgen: unknown mode %q (want open or closed)", s)
+	}
+}
+
+// Stage is one open-loop ramp step: hold RPS for Duration.
+type Stage struct {
+	RPS      float64
+	Duration time.Duration
+}
+
+// Config controls a Generator.
+type Config struct {
+	// BaseURL is the store root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client is the HTTP client; nil gets a client tuned for many
+	// concurrent connections to one host.
+	Client *http.Client
+
+	// Mode selects open- or closed-loop driving.
+	Mode Mode
+	// Stages is the open-loop schedule; required for OpenLoop.
+	Stages []Stage
+	// Users is the closed-loop virtual-user count; required for ClosedLoop.
+	Users int
+	// Think is the mean closed-loop think time between a virtual user's
+	// requests, drawn from an exponential distribution (0 = none).
+	Think time.Duration
+
+	// MaxInFlight bounds concurrently outstanding open-loop requests;
+	// arrivals past the bound are dropped and counted (overload signal).
+	// <= 0 defaults to 4096.
+	MaxInFlight int
+	// Warmup excludes the run's initial window from recorded statistics;
+	// requests still fly, they are just tallied separately.
+	Warmup time.Duration
+	// Timeout is the per-request deadline; <= 0 defaults to 10s.
+	Timeout time.Duration
+	// MaxEvents stops the run after replaying this many workload events
+	// (0 = run the source dry or until Stages end).
+	MaxEvents int64
+	// APKEvery issues a full APK download for every Nth event in addition
+	// to the metadata request (0 = metadata only).
+	APKEvery int
+	// Seed drives think-time jitter.
+	Seed uint64
+}
+
+// Request classes reported separately: metadata detail lookups vs APK
+// payload downloads.
+const (
+	ClassDetail = "detail"
+	ClassAPK    = "apk"
+)
+
+// classStats accumulates one request class.
+type classStats struct {
+	requests    metrics.Counter
+	ok          metrics.Counter
+	rateLimited metrics.Counter
+	errors      metrics.Counter
+	otherStatus metrics.Counter
+	warmup      metrics.Counter
+	latency     *metrics.Histogram
+}
+
+// Generator replays a Source against a store. Create with New; a
+// Generator is single-use (statistics accumulate across Run calls
+// otherwise).
+type Generator struct {
+	cfg    Config
+	client *http.Client
+
+	srcMu     sync.Mutex
+	src       Source
+	srcErr    error
+	events    int64
+	dropped   metrics.Counter
+	classes   map[string]*classStats
+	startedAt time.Time
+	measureAt time.Time
+}
+
+// New validates cfg and returns a Generator.
+func New(cfg Config) (*Generator, error) {
+	if cfg.BaseURL == "" {
+		return nil, errors.New("loadgen: BaseURL required")
+	}
+	switch cfg.Mode {
+	case OpenLoop:
+		if len(cfg.Stages) == 0 {
+			return nil, errors.New("loadgen: open loop requires at least one stage")
+		}
+		for i, st := range cfg.Stages {
+			if st.RPS <= 0 || st.Duration <= 0 {
+				return nil, fmt.Errorf("loadgen: stage %d: RPS and Duration must be positive", i)
+			}
+		}
+	case ClosedLoop:
+		if cfg.Users <= 0 {
+			return nil, errors.New("loadgen: closed loop requires Users > 0")
+		}
+	default:
+		return nil, fmt.Errorf("loadgen: unknown mode %v", cfg.Mode)
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4096
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        cfg.MaxInFlight,
+			MaxIdleConnsPerHost: cfg.MaxInFlight,
+		}}
+	}
+	g := &Generator{
+		cfg:    cfg,
+		client: client,
+		classes: map[string]*classStats{
+			ClassDetail: {latency: metrics.NewHistogram()},
+			ClassAPK:    {latency: metrics.NewHistogram()},
+		},
+	}
+	return g, nil
+}
+
+// next pulls the next workload event, enforcing MaxEvents; ok is false at
+// the end of the workload.
+func (g *Generator) next() (model.Event, bool) {
+	g.srcMu.Lock()
+	defer g.srcMu.Unlock()
+	if g.srcErr != nil {
+		return model.Event{}, false
+	}
+	if g.cfg.MaxEvents > 0 && g.events >= g.cfg.MaxEvents {
+		return model.Event{}, false
+	}
+	e, err := g.src.Next()
+	if err != nil {
+		if !errors.Is(err, io.EOF) {
+			g.srcErr = err
+		}
+		return model.Event{}, false
+	}
+	g.events++
+	return e, true
+}
+
+// clientAddr maps a workload user id to a stable synthetic client address
+// so the store's per-client limiter sees one bucket per virtual user.
+func clientAddr(user int32) string {
+	u := uint32(user)
+	return fmt.Sprintf("10.%d.%d.%d", (u>>16)&255, (u>>8)&255, u&255)
+}
+
+// issue performs one request and records it under class.
+func (g *Generator) issue(ctx context.Context, class string, ev model.Event) {
+	cs := g.classes[class]
+	url := g.cfg.BaseURL + "/api/apps/" + strconv.Itoa(int(ev.App))
+	if class == ClassAPK {
+		url += "/apk"
+	}
+	rctx, cancel := context.WithTimeout(ctx, g.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, url, nil)
+	if err != nil {
+		cs.errors.Inc()
+		return
+	}
+	req.Header.Set("X-Forwarded-For", clientAddr(ev.User))
+	start := time.Now()
+	record := !start.Before(g.measureAt)
+	if !record {
+		cs.warmup.Inc()
+	} else {
+		cs.requests.Inc()
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		if record {
+			cs.errors.Inc()
+		}
+		return
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if !record {
+		return
+	}
+	cs.latency.ObserveSince(start)
+	switch {
+	case resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusNotModified:
+		cs.ok.Inc()
+	case resp.StatusCode == http.StatusTooManyRequests:
+		cs.rateLimited.Inc()
+	default:
+		cs.otherStatus.Inc()
+	}
+}
+
+// issueEvent replays one workload event: a metadata detail request, plus
+// an APK download for every APKEvery-th event.
+func (g *Generator) issueEvent(ctx context.Context, ev model.Event, n int64) {
+	g.issue(ctx, ClassDetail, ev)
+	if g.cfg.APKEvery > 0 && n%int64(g.cfg.APKEvery) == 0 {
+		g.issue(ctx, ClassAPK, ev)
+	}
+}
+
+// Run replays src until the workload, the schedule, or ctx ends, then
+// returns the Report. Context cancellation is a clean stop, not an error;
+// a corrupt source surfaces as an error alongside the partial report.
+func (g *Generator) Run(ctx context.Context, src Source) (*Report, error) {
+	g.src = src
+	g.startedAt = time.Now()
+	g.measureAt = g.startedAt.Add(g.cfg.Warmup)
+	switch g.cfg.Mode {
+	case OpenLoop:
+		g.runOpen(ctx)
+	case ClosedLoop:
+		g.runClosed(ctx)
+	}
+	elapsed := time.Since(g.startedAt)
+	rep := g.report(elapsed)
+	return rep, g.srcErr
+}
+
+// runOpen launches requests on the stage schedule. A timer goroutine per
+// request would drift under load, so the pacer computes each arrival's
+// absolute time and sleeps to it; launches that would exceed MaxInFlight
+// are dropped and counted instead of stalling the schedule.
+func (g *Generator) runOpen(ctx context.Context) {
+	sem := make(chan struct{}, g.cfg.MaxInFlight)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	var seq int64
+	next := time.Now()
+	for _, st := range g.cfg.Stages {
+		interval := time.Duration(float64(time.Second) / st.RPS)
+		stageEnd := next.Add(st.Duration)
+		for next.Before(stageEnd) {
+			if d := time.Until(next); d > 0 {
+				t := time.NewTimer(d)
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+					return
+				}
+			} else if ctx.Err() != nil {
+				return
+			}
+			ev, ok := g.next()
+			if !ok {
+				return
+			}
+			n := seq
+			seq++
+			select {
+			case sem <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					defer func() { <-sem }()
+					g.issueEvent(ctx, ev, n)
+				}()
+			default:
+				g.dropped.Inc()
+			}
+			next = next.Add(interval)
+		}
+	}
+}
+
+// runClosed runs Users virtual users in lock step with the source.
+func (g *Generator) runClosed(ctx context.Context) {
+	var wg sync.WaitGroup
+	for u := 0; u < g.cfg.Users; u++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g.cfg.Seed) + int64(id)))
+			var seq int64
+			for ctx.Err() == nil {
+				ev, ok := g.next()
+				if !ok {
+					return
+				}
+				g.issueEvent(ctx, ev, seq)
+				seq++
+				if g.cfg.Think > 0 {
+					d := time.Duration(r.ExpFloat64() * float64(g.cfg.Think))
+					t := time.NewTimer(d)
+					select {
+					case <-t.C:
+					case <-ctx.Done():
+						t.Stop()
+						return
+					}
+				}
+			}
+		}(u)
+	}
+	wg.Wait()
+}

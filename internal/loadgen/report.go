@@ -1,0 +1,110 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"planetapps/internal/metrics"
+)
+
+// LatencySummary is a latency distribution in milliseconds.
+type LatencySummary struct {
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+func summarize(s *metrics.HistogramSnapshot) LatencySummary {
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
+	return LatencySummary{
+		P50:  ms(s.Quantile(0.50)),
+		P90:  ms(s.Quantile(0.90)),
+		P95:  ms(s.Quantile(0.95)),
+		P99:  ms(s.Quantile(0.99)),
+		P999: ms(s.Quantile(0.999)),
+		Mean: s.Mean() / 1e6,
+		Max:  ms(s.Max),
+	}
+}
+
+// ClassReport aggregates one request class (detail lookups, APK
+// downloads) over the measured (post-warmup) window.
+type ClassReport struct {
+	Class       string         `json:"class"`
+	Requests    int64          `json:"requests"`
+	OK          int64          `json:"ok"`
+	RateLimited int64          `json:"rate_limited"`
+	Errors      int64          `json:"errors"`
+	OtherStatus int64          `json:"other_status"`
+	LatencyMS   LatencySummary `json:"latency_ms"`
+}
+
+// Report is the JSON-serializable outcome of one Run. Counts cover the
+// measured window; WarmupRequests tallies what the warmup excluded.
+type Report struct {
+	Mode           string        `json:"mode"`
+	Events         int64         `json:"events"`
+	Requests       int64         `json:"requests"`
+	WarmupRequests int64         `json:"warmup_requests"`
+	OK             int64         `json:"ok"`
+	RateLimited    int64         `json:"rate_limited"`
+	Errors         int64         `json:"errors"`
+	OtherStatus    int64         `json:"other_status"`
+	Dropped        int64         `json:"dropped"`
+	DurationSec    float64       `json:"duration_sec"`
+	MeasuredSec    float64       `json:"measured_sec"`
+	ThroughputRPS  float64       `json:"throughput_rps"`
+	Classes        []ClassReport `json:"classes"`
+}
+
+func (g *Generator) report(elapsed time.Duration) *Report {
+	rep := &Report{
+		Mode:        g.cfg.Mode.String(),
+		Events:      g.events,
+		Dropped:     g.dropped.Value(),
+		DurationSec: elapsed.Seconds(),
+	}
+	measured := elapsed - g.cfg.Warmup
+	if measured < 0 {
+		measured = 0
+	}
+	rep.MeasuredSec = measured.Seconds()
+	for _, class := range []string{ClassDetail, ClassAPK} {
+		cs := g.classes[class]
+		cr := ClassReport{
+			Class:       class,
+			Requests:    cs.requests.Value(),
+			OK:          cs.ok.Value(),
+			RateLimited: cs.rateLimited.Value(),
+			Errors:      cs.errors.Value(),
+			OtherStatus: cs.otherStatus.Value(),
+			LatencyMS:   summarize(cs.latency.Snapshot()),
+		}
+		if cr.Requests == 0 && class == ClassAPK {
+			continue
+		}
+		rep.Requests += cr.Requests
+		rep.WarmupRequests += cs.warmup.Value()
+		rep.OK += cr.OK
+		rep.RateLimited += cr.RateLimited
+		rep.Errors += cr.Errors
+		rep.OtherStatus += cr.OtherStatus
+		rep.Classes = append(rep.Classes, cr)
+	}
+	if rep.MeasuredSec > 0 {
+		rep.ThroughputRPS = float64(rep.Requests) / rep.MeasuredSec
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

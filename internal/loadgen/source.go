@@ -1,0 +1,84 @@
+package loadgen
+
+import (
+	"context"
+	"io"
+
+	"planetapps/internal/model"
+	"planetapps/internal/trace"
+)
+
+// Source yields the download events a Generator replays as HTTP traffic.
+// Next returns io.EOF when the workload is exhausted. Implementations need
+// not be safe for concurrent use; the Generator serializes access.
+type Source interface {
+	Next() (model.Event, error)
+}
+
+// traceSource adapts a trace.Reader.
+type traceSource struct {
+	r *trace.Reader
+}
+
+// NewTraceSource replays a recorded binary trace.
+func NewTraceSource(r *trace.Reader) Source { return &traceSource{r: r} }
+
+func (s *traceSource) Next() (model.Event, error) { return s.r.Read() }
+
+// sliceSource serves a fixed event list (tests, pre-materialized traces).
+type sliceSource struct {
+	events []model.Event
+	i      int
+}
+
+// NewSliceSource replays an in-memory event slice.
+func NewSliceSource(events []model.Event) Source { return &sliceSource{events: events} }
+
+func (s *sliceSource) Next() (model.Event, error) {
+	if s.i >= len(s.events) {
+		return model.Event{}, io.EOF
+	}
+	e := s.events[s.i]
+	s.i++
+	return e, nil
+}
+
+// modelSource synthesizes events live from a workload simulator, bridging
+// the push-style Simulator.Stream into the pull-style Source through a
+// bounded channel so generation overlaps replay without materializing the
+// whole trace.
+type modelSource struct {
+	ch     <-chan model.Event
+	cancel context.CancelFunc
+}
+
+// NewModelSource streams events from sim under ctx; canceling ctx stops
+// the generator goroutine. The source ends after the simulator's full
+// workload (bound it with Config.MaxEvents if needed).
+func NewModelSource(ctx context.Context, sim *model.Simulator, seed uint64) Source {
+	ctx, cancel := context.WithCancel(ctx)
+	ch := make(chan model.Event, 1024)
+	go func() {
+		defer close(ch)
+		sim.Stream(seed, func(e model.Event) bool {
+			select {
+			case ch <- e:
+				return true
+			case <-ctx.Done():
+				return false
+			}
+		})
+	}()
+	return &modelSource{ch: ch, cancel: cancel}
+}
+
+func (s *modelSource) Next() (model.Event, error) {
+	e, ok := <-s.ch
+	if !ok {
+		return model.Event{}, io.EOF
+	}
+	return e, nil
+}
+
+// Close stops the generating goroutine early; safe to call repeatedly.
+func (s *modelSource) Close() { s.cancel() }

@@ -1,0 +1,53 @@
+// Package metrics provides dependency-free telemetry primitives for the
+// serving path: atomic counters and gauges, a log-bucketed latency
+// histogram with quantile extraction, and a registry with a
+// Prometheus-style text exposition handler.
+//
+// The package exists so the storeserver and loadgen subsystems can measure
+// themselves without pulling an external client library — the same
+// stdlib-only constraint the rest of the repository observes. Hot-path
+// operations (Counter.Inc, Histogram.Observe) are single atomic adds; no
+// locks are taken outside registration and exposition.
+package metrics
+
+import "sync/atomic"
+
+// Counter is a monotonically increasing 64-bit counter. The zero value is
+// ready to use and safe for concurrent access.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n. Negative deltas are ignored: counters only go up.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a 64-bit value that may go up and down (in-flight requests,
+// map sizes). The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }

@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry is a named collection of metrics with Prometheus-style text
+// exposition. Metric names may carry a label set in the name itself
+// (`store_requests_total{route="list"}`): the registry treats the full
+// string as the identity and groups `# TYPE` lines by the base name before
+// the brace, so labeled families expose correctly.
+//
+// Lookup methods are get-or-create and safe for concurrent use; reads take
+// an RLock so steady-state lookups do not serialize.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+type entry struct {
+	name string
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]*entry{}}
+}
+
+func (r *Registry) lookup(name string) (*entry, bool) {
+	r.mu.RLock()
+	e, ok := r.entries[name]
+	r.mu.RUnlock()
+	return e, ok
+}
+
+// Counter returns the counter registered under name, creating it if absent.
+// Panics if name is registered as a different metric type.
+func (r *Registry) Counter(name string) *Counter {
+	if e, ok := r.lookup(name); ok {
+		return mustKind(e, name).c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		return mustKind(e, name).c
+	}
+	e := &entry{name: name, c: &Counter{}}
+	r.entries[name] = e
+	return e.c
+}
+
+// Gauge returns the gauge registered under name, creating it if absent.
+func (r *Registry) Gauge(name string) *Gauge {
+	if e, ok := r.lookup(name); ok {
+		return mustKindG(e, name).g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		return mustKindG(e, name).g
+	}
+	e := &entry{name: name, g: &Gauge{}}
+	r.entries[name] = e
+	return e.g
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// absent. By convention histogram observations are nanoseconds; exposition
+// converts to seconds (Prometheus base unit).
+func (r *Registry) Histogram(name string) *Histogram {
+	if e, ok := r.lookup(name); ok {
+		return mustKindH(e, name).h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		return mustKindH(e, name).h
+	}
+	e := &entry{name: name, h: NewHistogram()}
+	r.entries[name] = e
+	return e.h
+}
+
+func mustKind(e *entry, name string) *entry {
+	if e.c == nil {
+		panic(fmt.Sprintf("metrics: %q already registered as a different type", name))
+	}
+	return e
+}
+
+func mustKindG(e *entry, name string) *entry {
+	if e.g == nil {
+		panic(fmt.Sprintf("metrics: %q already registered as a different type", name))
+	}
+	return e
+}
+
+func mustKindH(e *entry, name string) *entry {
+	if e.h == nil {
+		panic(fmt.Sprintf("metrics: %q already registered as a different type", name))
+	}
+	return e
+}
+
+// splitName separates `base{labels}` into its parts; labels is empty when
+// the name carries none.
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// withLabel renders base plus the existing label set extended by one more
+// label pair.
+func withLabel(base, labels, extra string) string {
+	if labels == "" {
+		return base + "{" + extra + "}"
+	}
+	return base + "{" + labels + "," + extra + "}"
+}
+
+var histQuantiles = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.50},
+	{"0.9", 0.90},
+	{"0.95", 0.95},
+	{"0.99", 0.99},
+	{"0.999", 0.999},
+}
+
+// WriteText writes the registry in the Prometheus text exposition format,
+// sorted by name, with histograms rendered as summaries (quantile series
+// plus _sum and _count) in seconds.
+func (r *Registry) WriteText(w io.Writer) {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.entries))
+	entries := make([]*entry, 0, len(r.entries))
+	for n := range r.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		entries = append(entries, r.entries[n])
+	}
+	r.mu.RUnlock()
+
+	lastBase := ""
+	for _, e := range entries {
+		base, labels := splitName(e.name)
+		switch {
+		case e.c != nil:
+			if base != lastBase {
+				fmt.Fprintf(w, "# TYPE %s counter\n", base)
+			}
+			fmt.Fprintf(w, "%s %d\n", e.name, e.c.Value())
+		case e.g != nil:
+			if base != lastBase {
+				fmt.Fprintf(w, "# TYPE %s gauge\n", base)
+			}
+			fmt.Fprintf(w, "%s %d\n", e.name, e.g.Value())
+		case e.h != nil:
+			if base != lastBase {
+				fmt.Fprintf(w, "# TYPE %s summary\n", base)
+			}
+			s := e.h.Snapshot()
+			for _, hq := range histQuantiles {
+				fmt.Fprintf(w, "%s %g\n",
+					withLabel(base, labels, `quantile="`+hq.label+`"`),
+					float64(s.Quantile(hq.q))/1e9)
+			}
+			sumName, countName := base+"_sum", base+"_count"
+			if labels != "" {
+				sumName += "{" + labels + "}"
+				countName += "{" + labels + "}"
+			}
+			fmt.Fprintf(w, "%s %g\n", sumName, float64(s.Sum)/1e9)
+			fmt.Fprintf(w, "%s %d\n", countName, s.Count)
+		}
+		lastBase = base
+	}
+}
+
+// Handler returns an HTTP handler serving the text exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		r.WriteText(w)
+	})
+}

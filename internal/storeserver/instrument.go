@@ -1,0 +1,104 @@
+package storeserver
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"planetapps/internal/metrics"
+)
+
+// routeInstruments holds the per-route telemetry. Counters for the common
+// status codes are pre-registered so the request path never takes the
+// registry's write lock; rare codes fall back to get-or-create.
+type routeInstruments struct {
+	route   string
+	total   *metrics.Counter
+	latency *metrics.Histogram
+	byCode  map[int]*metrics.Counter
+}
+
+// commonCodes are pre-registered per route.
+var commonCodes = []int{
+	http.StatusOK,
+	http.StatusNotModified,
+	http.StatusBadRequest,
+	http.StatusNotFound,
+}
+
+func (s *Server) initMetrics() {
+	s.reg = metrics.NewRegistry()
+	s.total = s.reg.Counter("store_requests_total")
+	s.limited = s.reg.Counter("store_rate_limited_total")
+	s.inFlight = s.reg.Gauge("store_in_flight")
+	s.routes = map[string]*routeInstruments{}
+	for _, route := range []string{"stats", "list", "detail", "comments", "apk"} {
+		ri := &routeInstruments{
+			route:   route,
+			total:   s.reg.Counter(fmt.Sprintf("store_route_requests_total{route=%q}", route)),
+			latency: s.reg.Histogram(fmt.Sprintf("store_request_seconds{route=%q}", route)),
+			byCode:  map[int]*metrics.Counter{},
+		}
+		for _, code := range commonCodes {
+			ri.byCode[code] = s.codeCounter(route, code)
+		}
+		s.routes[route] = ri
+	}
+}
+
+func (s *Server) codeCounter(route string, code int) *metrics.Counter {
+	return s.reg.Counter(fmt.Sprintf("store_responses_total{route=%q,code=\"%d\"}", route, code))
+}
+
+// statusWriter captures the response status for accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one route handler with request counting, in-flight
+// tracking, and service-latency recording.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	ri := s.routes[route]
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.total.Inc()
+		ri.total.Inc()
+		s.inFlight.Inc()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		s.inFlight.Dec()
+		ri.latency.ObserveSince(start)
+		c, ok := ri.byCode[sw.code]
+		if !ok {
+			c = s.codeCounter(route, sw.code)
+		}
+		c.Inc()
+	})
+}
+
+// Registry exposes the server's metrics registry, served at /metrics by
+// Handler; callers (appstored's shutdown stats line, tests) may also read
+// it directly.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// RequestsServed returns the number of API requests that passed the rate
+// limiter.
+func (s *Server) RequestsServed() int64 { return s.total.Value() }
+
+// RateLimited returns the number of requests rejected with 429.
+func (s *Server) RateLimited() int64 { return s.limited.Value() }
+
+// LimiterBuckets returns the number of per-client rate-limit buckets
+// currently tracked, 0 when rate limiting is off.
+func (s *Server) LimiterBuckets() int {
+	if s.lim == nil {
+		return 0
+	}
+	return s.lim.size()
+}

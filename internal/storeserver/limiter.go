@@ -1,0 +1,104 @@
+package storeserver
+
+import (
+	"sync"
+	"time"
+)
+
+// limiterShards splits the per-client token buckets across independently
+// locked shards so concurrent clients (the loadgen's many virtual users)
+// do not serialize on one mutex. Must be a power of two.
+const limiterShards = 16
+
+// defaultIdleTTL is how long an idle client's bucket survives before a
+// sweep reclaims it; a bucket idle that long has refilled to full burst
+// anyway, so dropping it is behaviorally invisible.
+const defaultIdleTTL = 2 * time.Minute
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+type limiterShard struct {
+	mu        sync.Mutex
+	buckets   map[string]*bucket
+	lastSweep time.Time
+}
+
+// limiter is a sharded per-key token-bucket rate limiter with idle-bucket
+// eviction. Each allow call touches exactly one shard; eviction piggybacks
+// on allow so no background goroutine is needed.
+type limiter struct {
+	rate  float64
+	burst float64
+	ttl   time.Duration
+
+	shards [limiterShards]limiterShard
+}
+
+func newLimiter(rate float64, burst int, ttl time.Duration) *limiter {
+	if ttl <= 0 {
+		ttl = defaultIdleTTL
+	}
+	l := &limiter{rate: rate, burst: float64(burst), ttl: ttl}
+	for i := range l.shards {
+		l.shards[i].buckets = map[string]*bucket{}
+	}
+	return l
+}
+
+// shardFor hashes key with FNV-1a; inlined to avoid the hash.Hash
+// allocation on the request path.
+func shardFor(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h & (limiterShards - 1)
+}
+
+// allow reports whether the client identified by key may proceed at now,
+// consuming one token if so.
+func (l *limiter) allow(key string, now time.Time) bool {
+	sh := &l.shards[shardFor(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.lastSweep.IsZero() {
+		sh.lastSweep = now
+	} else if now.Sub(sh.lastSweep) >= l.ttl {
+		for k, b := range sh.buckets {
+			if now.Sub(b.last) >= l.ttl {
+				delete(sh.buckets, k)
+			}
+		}
+		sh.lastSweep = now
+	}
+	b, ok := sh.buckets[key]
+	if !ok {
+		b = &bucket{tokens: l.burst, last: now}
+		sh.buckets[key] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// size returns the total tracked buckets across shards (telemetry, tests).
+func (l *limiter) size() int {
+	n := 0
+	for i := range l.shards {
+		l.shards[i].mu.Lock()
+		n += len(l.shards[i].buckets)
+		l.shards[i].mu.Unlock()
+	}
+	return n
+}

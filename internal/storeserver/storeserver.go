@@ -21,6 +21,7 @@ import (
 	"planetapps/internal/catalog"
 	"planetapps/internal/comments"
 	"planetapps/internal/marketsim"
+	"planetapps/internal/metrics"
 )
 
 // AppJSON is the wire representation of one app listing.
@@ -71,6 +72,9 @@ type Config struct {
 	Burst int
 	// Latency is an artificial per-request service delay.
 	Latency time.Duration
+	// IdleTTL is how long an idle client's rate-limit bucket is kept
+	// before eviction; <= 0 uses a default of two minutes.
+	IdleTTL time.Duration
 }
 
 // DefaultConfig returns a config suitable for in-process crawling tests.
@@ -86,13 +90,13 @@ type Server struct {
 	market   *marketsim.Market
 	comments map[catalog.AppID][]CommentJSON
 
-	limMu   sync.Mutex
-	buckets map[string]*bucket
-}
+	lim *limiter
 
-type bucket struct {
-	tokens float64
-	last   time.Time
+	reg      *metrics.Registry
+	routes   map[string]*routeInstruments
+	total    *metrics.Counter
+	limited  *metrics.Counter
+	inFlight *metrics.Gauge
 }
 
 // New creates a server over a market. Comment streams may be attached with
@@ -101,12 +105,16 @@ func New(m *marketsim.Market, cfg Config) *Server {
 	if cfg.PageSize <= 0 {
 		cfg.PageSize = 100
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		market:   m,
 		comments: map[catalog.AppID][]CommentJSON{},
-		buckets:  map[string]*bucket{},
 	}
+	if cfg.RatePerSec > 0 {
+		s.lim = newLimiter(cfg.RatePerSec, cfg.Burst, cfg.IdleTTL)
+	}
+	s.initMetrics()
+	return s
 }
 
 // SetComments attaches a generated comment stream, grouped per app, served
@@ -137,21 +145,27 @@ func (s *Server) Day() int {
 	return s.market.Day()
 }
 
-// Handler returns the HTTP handler serving the store API.
+// Handler returns the HTTP handler serving the store API plus the
+// telemetry endpoint. /metrics sits outside the rate limiter so a scraper
+// is never 429'd by the workload it is observing.
 func (s *Server) Handler() http.Handler {
+	api := http.NewServeMux()
+	api.Handle("GET /api/stats", s.instrument("stats", s.handleStats))
+	api.Handle("GET /api/apps", s.instrument("list", s.handleList))
+	api.Handle("GET /api/apps/{id}", s.instrument("detail", s.handleApp))
+	api.Handle("GET /api/apps/{id}/comments", s.instrument("comments", s.handleComments))
+	api.Handle("GET /api/apps/{id}/apk", s.instrument("apk", s.handleAPK))
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /api/stats", s.handleStats)
-	mux.HandleFunc("GET /api/apps", s.handleList)
-	mux.HandleFunc("GET /api/apps/{id}", s.handleApp)
-	mux.HandleFunc("GET /api/apps/{id}/comments", s.handleComments)
-	mux.HandleFunc("GET /api/apps/{id}/apk", s.handleAPK)
-	return s.limit(mux)
+	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.Handle("/", s.limit(api))
+	return mux
 }
 
 // limit applies per-client token-bucket rate limiting.
 func (s *Server) limit(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.cfg.RatePerSec > 0 && !s.allow(clientKey(r)) {
+		if s.lim != nil && !s.lim.allow(clientKey(r), time.Now()) {
+			s.limited.Inc()
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
 			return
@@ -174,27 +188,6 @@ func clientKey(r *http.Request) string {
 		return r.RemoteAddr
 	}
 	return host
-}
-
-func (s *Server) allow(key string) bool {
-	now := time.Now()
-	s.limMu.Lock()
-	defer s.limMu.Unlock()
-	b, ok := s.buckets[key]
-	if !ok {
-		b = &bucket{tokens: float64(s.cfg.Burst), last: now}
-		s.buckets[key] = b
-	}
-	b.tokens += now.Sub(b.last).Seconds() * s.cfg.RatePerSec
-	if b.tokens > float64(s.cfg.Burst) {
-		b.tokens = float64(s.cfg.Burst)
-	}
-	b.last = now
-	if b.tokens < 1 {
-		return false
-	}
-	b.tokens--
-	return true
 }
 
 func (s *Server) appJSON(i int) AppJSON {
