@@ -308,6 +308,26 @@ func BenchmarkStoreAppDetail(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/sec")
 }
 
+// BenchmarkStoreStats guards the pre-summed statistics document: the old
+// handler summed every per-app download count under the read lock on each
+// request (O(apps)); the snapshot sums once per day, so this path must
+// stay O(1) regardless of catalog size.
+func BenchmarkStoreStats(b *testing.B) {
+	h := storeHandler(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodGet, "/api/stats", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/sec")
+}
+
 // BenchmarkHistogramObserve measures the telemetry histogram's record path
 // under parallel writers — the per-request overhead the instrumented
 // server pays.

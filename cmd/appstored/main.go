@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,8 +41,9 @@ func main() {
 		dayEvery = flag.Duration("day-every", 0, "advance one simulated day per interval (0 = only via crawler-observed day 0)")
 		rate     = flag.Float64("rate", 200, "per-client request rate limit (req/s, 0 = off)")
 		burst    = flag.Int("burst", 50, "per-client rate limit burst")
-		comments = flag.Int("comments", 20000, "commenting user population (0 = no comments)")
-		drain    = flag.Duration("drain", 10*time.Second, "graceful shutdown deadline for in-flight requests")
+		comments  = flag.Int("comments", 20000, "commenting user population (0 = no comments)")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown deadline for in-flight requests")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	)
 	flag.Parse()
 
@@ -75,6 +77,25 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Profiling sits on its own listener so production traffic and the
+	// debug surface never share a port; a dedicated mux (rather than the
+	// pprof package's DefaultServeMux registration) keeps the store's
+	// handler free of debug routes.
+	if *pprofAddr != "" {
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("appstored: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				log.Printf("appstored: pprof: %v", err)
+			}
+		}()
+	}
 
 	if *dayEvery > 0 {
 		go func() {

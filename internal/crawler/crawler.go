@@ -75,6 +75,10 @@ type Stats struct {
 	Requests int64
 	// Retries counts retried requests.
 	Retries int64
+	// NotModified counts JSON requests the store answered with 304 from a
+	// revalidated ETag — payloads the crawler skipped, the metadata
+	// counterpart of the version-aware APK dedup.
+	NotModified int64
 }
 
 // Crawler crawls one store into a database.
@@ -83,13 +87,28 @@ type Crawler struct {
 	client *http.Client
 	db     *db.DB
 
-	mu       sync.Mutex
-	requests int64
-	retries  int64
+	mu          sync.Mutex
+	requests    int64
+	retries     int64
+	notModified int64
+
+	// cond caches the last validated (ETag, body) per JSON URL so repeat
+	// crawls can revalidate with If-None-Match and decode the cached bytes
+	// on 304 — the same skip-unchanged-payloads discipline the APK path
+	// gets from HasAPK. Bounded by the store's URL population (pages +
+	// per-app endpoints), which the daily-crawl workload revisits in full,
+	// so there is no eviction.
+	condMu sync.Mutex
+	cond   map[string]condEntry
 
 	rateMu sync.Mutex
 	tokens float64
 	last   time.Time
+}
+
+type condEntry struct {
+	etag string
+	body []byte
 }
 
 // New creates a crawler writing into the given database.
@@ -119,6 +138,7 @@ func New(cfg Config, database *db.DB) (*Crawler, error) {
 		cfg:    cfg,
 		client: &http.Client{Transport: transport, Timeout: cfg.Timeout},
 		db:     database,
+		cond:   map[string]condEntry{},
 		tokens: cfg.RatePerSec,
 		last:   time.Now(),
 	}, nil
@@ -156,7 +176,9 @@ func (c *Crawler) waitRate(ctx context.Context) error {
 }
 
 // getJSON fetches a URL with politeness, retries, and backoff, decoding the
-// JSON response into out.
+// JSON response into out. When a previous fetch of the same URL carried an
+// ETag, the request revalidates with If-None-Match and a 304 answer decodes
+// the cached body instead of transferring a fresh payload.
 func (c *Crawler) getJSON(ctx context.Context, url string, out any) error {
 	backoff := c.cfg.Backoff
 	var lastErr error
@@ -180,6 +202,12 @@ func (c *Crawler) getJSON(ctx context.Context, url string, out any) error {
 			return err
 		}
 		req.Header.Set("User-Agent", "planetapps-crawler/1.0")
+		c.condMu.Lock()
+		cached, haveCached := c.cond[url]
+		c.condMu.Unlock()
+		if haveCached {
+			req.Header.Set("If-None-Match", cached.etag)
+		}
 		c.mu.Lock()
 		c.requests++
 		c.mu.Unlock()
@@ -192,7 +220,23 @@ func (c *Crawler) getJSON(ctx context.Context, url string, out any) error {
 			defer resp.Body.Close()
 			switch {
 			case resp.StatusCode == http.StatusOK:
-				lastErr = json.NewDecoder(resp.Body).Decode(out)
+				body, err := io.ReadAll(resp.Body)
+				if err != nil {
+					lastErr = err
+					return
+				}
+				if etag := resp.Header.Get("ETag"); etag != "" {
+					c.condMu.Lock()
+					c.cond[url] = condEntry{etag: etag, body: body}
+					c.condMu.Unlock()
+				}
+				lastErr = json.Unmarshal(body, out)
+			case resp.StatusCode == http.StatusNotModified && haveCached:
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				c.mu.Lock()
+				c.notModified++
+				c.mu.Unlock()
+				lastErr = json.Unmarshal(cached.body, out)
 			case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
 				io.Copy(io.Discard, resp.Body) //nolint:errcheck
 				lastErr = fmt.Errorf("crawler: %s returned %d", url, resp.StatusCode)
@@ -381,12 +425,13 @@ feed:
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Day:      day,
-		Apps:     int(appCount),
-		Comments: int(commentCount),
-		APKs:     int(apkCount),
-		APKBytes: apkBytes,
-		Requests: c.requests,
-		Retries:  c.retries,
+		Day:         day,
+		Apps:        int(appCount),
+		Comments:    int(commentCount),
+		APKs:        int(apkCount),
+		APKBytes:    apkBytes,
+		Requests:    c.requests,
+		Retries:     c.retries,
+		NotModified: c.notModified,
 	}, nil
 }

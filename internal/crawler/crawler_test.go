@@ -87,6 +87,58 @@ func TestCrawlWithComments(t *testing.T) {
 	}
 }
 
+// TestConditionalRecrawl verifies the crawler's ETag revalidation: a
+// same-day re-crawl answers almost entirely from 304s (no payloads
+// transferred) yet yields identical data, and a day advance invalidates
+// the day-scoped documents so fresh statistics still flow.
+func TestConditionalRecrawl(t *testing.T) {
+	srv, ts := testStore(t, storeserver.Config{PageSize: 25})
+	cfg := DefaultConfig(ts.URL)
+	cfg.FetchComments = true
+	c, err := New(cfg, db.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	s1, err := c.CrawlDay(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.NotModified != 0 {
+		t.Fatalf("first crawl revalidated %d documents with an empty cache", s1.NotModified)
+	}
+	s2, err := c.CrawlDay(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same day, nothing changed: stats, every listing page, and every
+	// comment stream should all have come back 304.
+	pages := (s1.Apps + 24) / 25
+	if wantMin := int64(1 + pages); s2.NotModified < wantMin {
+		t.Fatalf("same-day re-crawl got %d 304s, want >= %d", s2.NotModified, wantMin)
+	}
+	if s2.Apps != s1.Apps {
+		t.Fatalf("re-crawl from cached bodies saw %d apps, first crawl %d", s2.Apps, s1.Apps)
+	}
+	// A new day invalidates day-scoped ETags: the crawl still succeeds and
+	// records the new day's growing download counts.
+	if err := srv.AdvanceDay(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CrawlDay(ctx); err != nil {
+		t.Fatal(err)
+	}
+	grew := 0
+	for _, rec := range c.DB().Apps() {
+		if len(rec.Daily) == 2 && rec.Daily[1].Day == 1 && rec.Daily[1].Downloads >= rec.Daily[0].Downloads {
+			grew++
+		}
+	}
+	if grew == 0 {
+		t.Fatal("no app recorded fresh day-1 statistics after AdvanceDay")
+	}
+}
+
 func TestMultiDayCrawl(t *testing.T) {
 	srv, ts := testStore(t, storeserver.Config{PageSize: 50})
 	c, err := New(DefaultConfig(ts.URL), db.New())

@@ -226,6 +226,48 @@ func (m *Market) Series() *snapshot.Series { return m.series }
 // slice; callers must not modify).
 func (m *Market) Downloads() []int64 { return m.downloads }
 
+// Export is an immutable copy of the market state a serving layer needs:
+// the day index, per-app catalog rows, per-app cumulative downloads, and
+// the category/developer name tables. It shares nothing mutable with the
+// live market, so holders may read it indefinitely while the market steps.
+type Export struct {
+	Store          string
+	Day            int
+	Apps           []catalog.App
+	CategoryNames  []string
+	DeveloperNames []string
+	Downloads      []int64
+	TotalDownloads int64
+}
+
+// Export snapshots the serving-relevant state. The copy is O(apps) value
+// copies — catalog.App carries no pointers — which is cheap next to a day
+// of simulation, so callers can take one per Step (copy-on-write cadence:
+// the market mutates its own state freely between exports). Export must
+// not run concurrently with Step; the returned value is then safe to share
+// across goroutines.
+func (m *Market) Export() Export {
+	n := m.cat.NumApps()
+	e := Export{
+		Store:          m.cat.Name,
+		Day:            m.day,
+		Apps:           append([]catalog.App(nil), m.cat.Apps[:n]...),
+		Downloads:      append([]int64(nil), m.downloads[:n]...),
+		CategoryNames:  make([]string, len(m.cat.Categories)),
+		DeveloperNames: make([]string, len(m.cat.Developers)),
+	}
+	for i := range m.cat.Categories {
+		e.CategoryNames[i] = m.cat.Categories[i].Name
+	}
+	for i := range m.cat.Developers {
+		e.DeveloperNames[i] = m.cat.Developers[i].Name
+	}
+	for _, d := range e.Downloads {
+		e.TotalDownloads += d
+	}
+	return e
+}
+
 // Run advances the market to the configured number of days and returns the
 // snapshot series.
 func (m *Market) Run() (*snapshot.Series, error) {

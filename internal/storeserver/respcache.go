@@ -1,0 +1,62 @@
+package storeserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"sync"
+)
+
+// bufPool recycles the scratch buffers responses are encoded into. Encoded
+// documents are copied out into exactly-sized cached slices, so a pooled
+// buffer only lives for the duration of one cache fill and its capacity is
+// reused across fills instead of re-growing from zero each time.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// cachedDoc is one write-once pre-encoded response document. The sync.Once
+// makes the fill single-flight: a cold document is encoded by exactly one
+// goroutine while concurrent requests for it wait, and once filled the
+// fields are immutable, so readers never take a lock.
+type cachedDoc struct {
+	once sync.Once
+	body []byte
+	etag string
+	clen string // pre-rendered Content-Length
+}
+
+// respCache is a fixed-size, index-addressed set of lazily built response
+// documents — one per listing page, per app detail, etc. It belongs to one
+// snapshot: the snapshot's immutability is what guarantees a filled entry
+// never goes stale, and swapping snapshots drops the whole cache at once.
+type respCache struct {
+	docs []cachedDoc
+}
+
+func newRespCache(n int) respCache {
+	return respCache{docs: make([]cachedDoc, n)}
+}
+
+// get returns document i, encoding it on first use. encode writes the JSON
+// body into buf and returns the document's ETag. Callers must bounds-check
+// i against the snapshot before calling.
+func (c *respCache) get(i int, encode func(buf *bytes.Buffer) (etag string)) (body []byte, etag, clen string) {
+	d := &c.docs[i]
+	d.once.Do(func() {
+		buf := bufPool.Get().(*bytes.Buffer)
+		buf.Reset()
+		d.etag = encode(buf)
+		d.body = append(make([]byte, 0, buf.Len()), buf.Bytes()...)
+		d.clen = strconv.Itoa(len(d.body))
+		bufPool.Put(buf)
+	})
+	return d.body, d.etag, d.clen
+}
+
+// encodeJSON writes v to buf, panicking on failure: every document the
+// server serves is a static struct that cannot fail to encode, so an error
+// here is a programming bug, not a runtime condition.
+func encodeJSON(buf *bytes.Buffer, v any) {
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,168 @@
+package storeserver
+
+import (
+	"bytes"
+	"strconv"
+
+	"planetapps/internal/catalog"
+	"planetapps/internal/marketsim"
+)
+
+// snapshot is one immutable day of the store: the exported market state
+// plus its lazily built, pre-encoded responses. The server publishes a new
+// snapshot through an atomic pointer on New, AdvanceDay, and SetComments
+// (RCU style: readers load the pointer once and keep serving from that
+// snapshot even while a newer one is published), so handlers never touch a
+// server-wide lock or the live marketsim.Market. All catalog/download
+// fields are write-once at construction; the response caches fill in place
+// but each entry is write-once behind a sync.Once, so the whole structure
+// is safe for unsynchronized concurrent reads.
+type snapshot struct {
+	day    int
+	dayStr string
+	store  string
+
+	apps      []catalog.App
+	catNames  []string
+	devNames  []string
+	downloads []int64
+	total     int64
+
+	pageSize int
+	pages    int
+
+	// comments maps app -> its comment stream. The map is built fresh by
+	// SetComments and never mutated afterwards; commentsGen distinguishes
+	// successive comment sets in ETags (comments do not change day to day,
+	// so their ETags deliberately omit the day and stay valid across
+	// snapshots until the next SetComments).
+	comments    map[catalog.AppID][]CommentJSON
+	commentsGen int64
+
+	stats   respCache // single entry: the store stats document
+	list    respCache // one entry per listing page
+	detail  respCache // one entry per app
+	comDocs respCache // one entry per app's comment stream
+}
+
+// newSnapshot freezes an export plus the current comment set into a
+// servable snapshot. Response documents are not encoded here — encoding
+// all pages eagerly would put O(catalog) JSON work on the AdvanceDay path;
+// instead each document is built on first request (see respCache).
+func newSnapshot(e marketsim.Export, comments map[catalog.AppID][]CommentJSON, gen int64, pageSize int) *snapshot {
+	pages := (len(e.Apps) + pageSize - 1) / pageSize
+	if pages == 0 {
+		pages = 1
+	}
+	return &snapshot{
+		day:         e.Day,
+		dayStr:      strconv.Itoa(e.Day),
+		store:       e.Store,
+		apps:        e.Apps,
+		catNames:    e.CategoryNames,
+		devNames:    e.DeveloperNames,
+		downloads:   e.Downloads,
+		total:       e.TotalDownloads,
+		pageSize:    pageSize,
+		pages:       pages,
+		comments:    comments,
+		commentsGen: gen,
+		stats:       newRespCache(1),
+		list:        newRespCache(pages),
+		detail:      newRespCache(len(e.Apps)),
+		comDocs:     newRespCache(len(e.Apps)),
+	}
+}
+
+// appName renders "<store>-app-<id zero-padded to 5>" without fmt. Output
+// matches fmt.Sprintf("%s-app-%05d", store, id) for non-negative ids.
+func appName(store string, id int32) string {
+	var digits [12]byte
+	d := strconv.AppendInt(digits[:0], int64(id), 10)
+	b := make([]byte, 0, len(store)+5+5)
+	b = append(b, store...)
+	b = append(b, "-app-"...)
+	for i := len(d); i < 5; i++ {
+		b = append(b, '0')
+	}
+	b = append(b, d...)
+	return string(b)
+}
+
+func (sn *snapshot) appJSON(i int) AppJSON {
+	a := &sn.apps[i]
+	return AppJSON{
+		ID:        int32(a.ID),
+		Name:      appName(sn.store, int32(a.ID)),
+		Category:  sn.catNames[a.Category],
+		Developer: sn.devNames[a.Dev],
+		Paid:      a.Pricing == catalog.Paid,
+		Price:     a.Price,
+		HasAds:    a.HasAds,
+		SizeMB:    a.SizeMB,
+		Version:   a.Versions,
+		Downloads: sn.downloads[i],
+	}
+}
+
+// statsDoc returns the pre-summed store statistics document. The total was
+// accumulated once at export time, so serving it is O(1) instead of the
+// old O(apps) sum under the read lock.
+func (sn *snapshot) statsDoc() (body []byte, etag, clen string) {
+	return sn.stats.get(0, func(buf *bytes.Buffer) string {
+		encodeJSON(buf, StatsJSON{
+			Store:          sn.store,
+			Day:            sn.day,
+			Apps:           len(sn.apps),
+			TotalDownloads: sn.total,
+		})
+		return `"d` + sn.dayStr + `"`
+	})
+}
+
+// listDoc returns listing page p (caller bounds-checks p < sn.pages).
+func (sn *snapshot) listDoc(p int) (body []byte, etag, clen string) {
+	return sn.list.get(p, func(buf *bytes.Buffer) string {
+		lo := p * sn.pageSize
+		hi := lo + sn.pageSize
+		if hi > len(sn.apps) {
+			hi = len(sn.apps)
+		}
+		if lo > hi {
+			lo = hi // empty catalog still serves page 0
+		}
+		out := PageJSON{
+			Apps:  make([]AppJSON, 0, hi-lo),
+			Page:  p,
+			Pages: sn.pages,
+			Total: len(sn.apps),
+		}
+		for i := lo; i < hi; i++ {
+			out.Apps = append(out.Apps, sn.appJSON(i))
+		}
+		encodeJSON(buf, out)
+		return `"d` + sn.dayStr + `-p` + strconv.Itoa(p) + `"`
+	})
+}
+
+// detailDoc returns app i's detail document. The ETag encodes the snapshot
+// day plus the app's version, so a conditional crawler revalidates for
+// free within a day and re-fetches only when the store actually moved.
+func (sn *snapshot) detailDoc(i int) (body []byte, etag, clen string) {
+	return sn.detail.get(i, func(buf *bytes.Buffer) string {
+		encodeJSON(buf, sn.appJSON(i))
+		return `"d` + sn.dayStr + `-v` + strconv.Itoa(sn.apps[i].Versions) + `"`
+	})
+}
+
+// commentsDoc returns app i's comment stream document.
+func (sn *snapshot) commentsDoc(i int) (body []byte, etag, clen string) {
+	return sn.comDocs.get(i, func(buf *bytes.Buffer) string {
+		cs := sn.comments[catalog.AppID(i)]
+		if cs == nil {
+			cs = []CommentJSON{}
+		}
+		encodeJSON(buf, cs)
+		return `"c` + strconv.FormatInt(sn.commentsGen, 10) + `-` + strconv.Itoa(i) + `"`
+	})
+}

@@ -5,17 +5,25 @@
 // Chinese stores applied that forced the paper's authors to proxy through
 // PlanetLab nodes in China.
 //
-// The server wraps a marketsim.Market; calling AdvanceDay steps the
-// simulated market so consecutive crawls observe evolving statistics.
+// The server wraps a marketsim.Market but never serves from it directly:
+// on New and on each AdvanceDay it freezes the market into an immutable
+// snapshot (see snapshot.go) published through an atomic pointer, RCU
+// style. Handlers load the pointer once per request and serve pre-encoded,
+// cached response bytes with snapshot-derived ETags — the read path takes
+// no server-wide lock and, once a document is warm, does no JSON encoding.
+// The store changes once per simulated day, exactly the daily-snapshot
+// cadence the paper's crawls (and Potharaju et al.'s longitudinal Google
+// Play study) observe, so a day's worth of traffic amortizes each
+// document's single encode.
 package storeserver
 
 import (
-	"encoding/json"
-	"fmt"
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"planetapps/internal/catalog"
@@ -86,9 +94,18 @@ func DefaultConfig() Config {
 type Server struct {
 	cfg Config
 
-	mu       sync.RWMutex
-	market   *marketsim.Market
-	comments map[catalog.AppID][]CommentJSON
+	// mu serializes the writers (AdvanceDay, SetComments), which step the
+	// market and publish a fresh snapshot. Readers never take it.
+	mu          sync.Mutex
+	market      *marketsim.Market
+	comments    map[catalog.AppID][]CommentJSON
+	commentsGen int64
+
+	// snap is the serving snapshot, swapped wholesale by publish. A
+	// handler loads it exactly once and serves the whole request from that
+	// load, so a concurrent AdvanceDay can never mix two days in one
+	// response.
+	snap atomic.Pointer[snapshot]
 
 	lim *limiter
 
@@ -106,10 +123,10 @@ func New(m *marketsim.Market, cfg Config) *Server {
 		cfg.PageSize = 100
 	}
 	s := &Server{
-		cfg:      cfg,
-		market:   m,
-		comments: map[catalog.AppID][]CommentJSON{},
+		cfg:    cfg,
+		market: m,
 	}
+	s.publish()
 	if cfg.RatePerSec > 0 {
 		s.lim = newLimiter(cfg.RatePerSec, cfg.Burst, cfg.IdleTTL)
 	}
@@ -117,8 +134,16 @@ func New(m *marketsim.Market, cfg Config) *Server {
 	return s
 }
 
+// publish freezes the market plus the current comment set into a new
+// snapshot and swaps it in. Callers must hold s.mu (the constructor is
+// exempt: the server has not escaped yet).
+func (s *Server) publish() {
+	s.snap.Store(newSnapshot(s.market.Export(), s.comments, s.commentsGen, s.cfg.PageSize))
+}
+
 // SetComments attaches a generated comment stream, grouped per app, served
-// at /api/apps/{id}/comments.
+// at /api/apps/{id}/comments. It publishes a fresh snapshot so in-flight
+// requests keep the old comment set and new requests see the new one.
 func (s *Server) SetComments(cs []comments.Comment) {
 	grouped := map[catalog.AppID][]CommentJSON{}
 	for _, c := range cs {
@@ -127,22 +152,29 @@ func (s *Server) SetComments(cs []comments.Comment) {
 		})
 	}
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.comments = grouped
-	s.mu.Unlock()
+	s.commentsGen++
+	s.publish()
 }
 
-// AdvanceDay steps the underlying market one simulated day.
+// AdvanceDay steps the underlying market one simulated day and publishes
+// the new day's snapshot. Requests in flight keep serving the previous
+// day; there is no quiescence barrier because old snapshots are simply
+// garbage-collected once the last reader drops them.
 func (s *Server) AdvanceDay() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.market.Step()
+	if err := s.market.Step(); err != nil {
+		return err
+	}
+	s.publish()
+	return nil
 }
 
-// Day returns the market's current day.
+// Day returns the serving snapshot's day.
 func (s *Server) Day() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.market.Day()
+	return s.snap.Load().day
 }
 
 // Handler returns the HTTP handler serving the store API plus the
@@ -177,11 +209,19 @@ func (s *Server) limit(next http.Handler) http.Handler {
 	})
 }
 
-// clientKey identifies the requesting client: the last X-Forwarded-For hop
-// if present (requests arriving via the proxy fleet), else the remote IP.
+// clientKey identifies the requesting client for rate limiting: the
+// originating hop of X-Forwarded-For if present (requests arriving via the
+// proxy fleet), else the remote IP. Only the first hop counts — "client,
+// proxy1, proxy2" and "client, proxy3" are the same client reached through
+// different chains and must share one bucket.
 func clientKey(r *http.Request) string {
 	if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
-		return xff
+		if i := strings.IndexByte(xff, ','); i >= 0 {
+			xff = xff[:i]
+		}
+		if k := strings.TrimSpace(xff); k != "" {
+			return k
+		}
 	}
 	host, _, err := net.SplitHostPort(r.RemoteAddr)
 	if err != nil {
@@ -190,36 +230,27 @@ func clientKey(r *http.Request) string {
 	return host
 }
 
-func (s *Server) appJSON(i int) AppJSON {
-	cat := s.market.Catalog()
-	a := &cat.Apps[i]
-	return AppJSON{
-		ID:        int32(a.ID),
-		Name:      fmt.Sprintf("%s-app-%05d", cat.Name, a.ID),
-		Category:  cat.Categories[a.Category].Name,
-		Developer: cat.Developers[a.Dev].Name,
-		Paid:      a.Pricing == catalog.Paid,
-		Price:     a.Price,
-		HasAds:    a.HasAds,
-		SizeMB:    a.SizeMB,
-		Version:   a.Versions,
-		Downloads: s.market.Downloads()[i],
+// serveDoc writes one pre-encoded JSON document, honouring If-None-Match
+// revalidation. X-Store-Day identifies the serving snapshot so a client
+// (or the consistency stress test) can correlate a response with exactly
+// one simulated day.
+func serveDoc(w http.ResponseWriter, r *http.Request, sn *snapshot, body []byte, etag, clen string) {
+	h := w.Header()
+	h.Set("ETag", etag)
+	h.Set("X-Store-Day", sn.dayStr)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
 	}
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", clen)
+	w.Write(body) //nolint:errcheck // client gone; nothing useful to do
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var total int64
-	for _, d := range s.market.Downloads() {
-		total += d
-	}
-	writeJSON(w, StatsJSON{
-		Store:          s.market.Catalog().Name,
-		Day:            s.market.Day(),
-		Apps:           s.market.Catalog().NumApps(),
-		TotalDownloads: total,
-	})
+	sn := s.snap.Load()
+	body, etag, clen := sn.statsDoc()
+	serveDoc(w, r, sn, body, etag, clen)
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -232,27 +263,13 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 		}
 		page = v
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	total := s.market.Catalog().NumApps()
-	pages := (total + s.cfg.PageSize - 1) / s.cfg.PageSize
-	if pages == 0 {
-		pages = 1
-	}
-	if page >= pages {
+	sn := s.snap.Load()
+	if page >= sn.pages {
 		http.Error(w, "page out of range", http.StatusNotFound)
 		return
 	}
-	lo := page * s.cfg.PageSize
-	hi := lo + s.cfg.PageSize
-	if hi > total {
-		hi = total
-	}
-	out := PageJSON{Page: page, Pages: pages, Total: total}
-	for i := lo; i < hi; i++ {
-		out.Apps = append(out.Apps, s.appJSON(i))
-	}
-	writeJSON(w, out)
+	body, etag, clen := sn.listDoc(page)
+	serveDoc(w, r, sn, body, etag, clen)
 }
 
 func (s *Server) handleApp(w http.ResponseWriter, r *http.Request) {
@@ -260,13 +277,13 @@ func (s *Server) handleApp(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if int(id) >= s.market.Catalog().NumApps() {
+	sn := s.snap.Load()
+	if int(id) >= len(sn.apps) {
 		http.Error(w, "no such app", http.StatusNotFound)
 		return
 	}
-	writeJSON(w, s.appJSON(int(id)))
+	body, etag, clen := sn.detailDoc(int(id))
+	serveDoc(w, r, sn, body, etag, clen)
 }
 
 func (s *Server) handleComments(w http.ResponseWriter, r *http.Request) {
@@ -274,17 +291,13 @@ func (s *Server) handleComments(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if int(id) >= s.market.Catalog().NumApps() {
+	sn := s.snap.Load()
+	if int(id) >= len(sn.apps) {
 		http.Error(w, "no such app", http.StatusNotFound)
 		return
 	}
-	cs := s.comments[catalog.AppID(id)]
-	if cs == nil {
-		cs = []CommentJSON{}
-	}
-	writeJSON(w, cs)
+	body, etag, clen := sn.commentsDoc(int(id))
+	serveDoc(w, r, sn, body, etag, clen)
 }
 
 // apkScale converts an app's SizeMB into served bytes. Full-size APK
@@ -297,21 +310,21 @@ const apkScale = 1024
 // handleAPK serves the app's current package as deterministic pseudo-random
 // bytes. The payload depends on (app, version), and the response carries an
 // ETag of the version so a version-aware crawler can avoid re-downloads
-// ("we download each app version only once").
+// ("we download each app version only once"). Unlike the JSON documents the
+// body is streamed, not cached: APKs are the one payload large enough that
+// caching every warm one would swamp the snapshot's footprint.
 func (s *Server) handleAPK(w http.ResponseWriter, r *http.Request) {
 	id, ok := s.pathID(w, r)
 	if !ok {
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	cat := s.market.Catalog()
-	if int(id) >= cat.NumApps() {
+	sn := s.snap.Load()
+	if int(id) >= len(sn.apps) {
 		http.Error(w, "no such app", http.StatusNotFound)
 		return
 	}
-	a := &cat.Apps[int(id)]
-	etag := fmt.Sprintf(`"v%d"`, a.Versions)
+	a := &sn.apps[int(id)]
+	etag := `"v` + strconv.Itoa(a.Versions) + `"`
 	w.Header().Set("ETag", etag)
 	if r.Header.Get("If-None-Match") == etag {
 		w.WriteHeader(http.StatusNotModified)
@@ -322,7 +335,7 @@ func (s *Server) handleAPK(w http.ResponseWriter, r *http.Request) {
 		size = 16
 	}
 	w.Header().Set("Content-Type", "application/vnd.android.package-archive")
-	w.Header().Set("Content-Length", fmt.Sprint(size))
+	w.Header().Set("Content-Length", strconv.Itoa(size))
 	// Deterministic payload from (app, version) via a tiny xorshift
 	// stream; cheap and reproducible without buffering the whole body.
 	state := uint64(id)<<32 | uint64(a.Versions) | 1
@@ -354,13 +367,4 @@ func (s *Server) pathID(w http.ResponseWriter, r *http.Request) (int32, bool) {
 		return 0, false
 	}
 	return int32(v), true
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(v); err != nil {
-		// Headers are already out; nothing useful to send.
-		return
-	}
 }
