@@ -7,6 +7,7 @@
 package planetapps_test
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -242,6 +243,64 @@ func BenchmarkWorkloadThroughput(b *testing.B) {
 	b.StopTimer()
 	if total > 0 {
 		b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "downloads/sec")
+	}
+}
+
+// BenchmarkRunParallel records the worker-scaling curve of the split-stream
+// Monte Carlo engine. Results are byte-identical across worker counts (the
+// invariance tests prove it), so the sub-benchmarks measure pure scheduling:
+// on an N-core host throughput should rise until workers ≈ N.
+func BenchmarkRunParallel(b *testing.B) {
+	cfg := planetapps.WorkloadConfig{
+		Apps: 10000, Users: 20000, DownloadsPerUser: 10,
+		ZipfGlobal: 1.4, ZipfCluster: 1.4, ClusterP: 0.9, Clusters: 30,
+	}
+	w, err := planetapps.NewWorkload(planetapps.APPClustering, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var total int64
+			for i := 0; i < b.N; i++ {
+				total += w.RunParallel(uint64(i), workers).Total
+			}
+			b.StopTimer()
+			if total > 0 {
+				b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "downloads/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkFitMCParallel records the worker-scaling curve of the Monte
+// Carlo fit pipeline (candidate shortlist evaluated on FitSpec.Workers
+// goroutines, each candidate's runs concurrent). The observed curve is
+// deliberately small so CI's fixed-iteration bench smoke stays fast.
+func BenchmarkFitMCParallel(b *testing.B) {
+	cfg := planetapps.WorkloadConfig{
+		Apps: 300, Users: 3000, DownloadsPerUser: 8,
+		ZipfGlobal: 1.4, ZipfCluster: 1.4, ClusterP: 0.9, Clusters: 15,
+	}
+	w, err := planetapps.NewWorkload(planetapps.APPClustering, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	observed := w.Run(17).Curve()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			spec := planetapps.DefaultFitSpec()
+			spec.Workers = workers
+			for i := 0; i < b.N; i++ {
+				fit, err := model.FitMC(model.AppClustering, observed, spec, 3)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(fit.Distance, "distance")
+				}
+			}
+		})
 	}
 }
 

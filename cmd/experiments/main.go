@@ -8,6 +8,8 @@
 //	experiments                 # run all at default scale
 //	experiments -scale 0.5 F8 F9 F19
 //	experiments -markdown > EXPERIMENTS.out.md
+//	experiments -workers 8 F8            # bound the fit-pipeline parallelism
+//	experiments -cpuprofile cpu.pprof F9 # profile the fit pipeline
 package main
 
 import (
@@ -15,6 +17,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"planetapps"
@@ -22,12 +26,15 @@ import (
 
 func main() {
 	var (
-		seed     = flag.Uint64("seed", 1, "experiment seed")
-		scale    = flag.Float64("scale", 1.0, "store population scale")
-		days     = flag.Int("days", 60, "simulated measurement period")
-		users    = flag.Int("comment-users", 30000, "behaviour-study population")
-		markdown = flag.Bool("markdown", false, "wrap output in markdown code fences per experiment")
-		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		seed       = flag.Uint64("seed", 1, "experiment seed")
+		scale      = flag.Float64("scale", 1.0, "store population scale")
+		days       = flag.Int("days", 60, "simulated measurement period")
+		users      = flag.Int("comment-users", 30000, "behaviour-study population")
+		workers    = flag.Int("workers", 0, "experiment parallelism (0 = GOMAXPROCS); results are identical for any value")
+		markdown   = flag.Bool("markdown", false, "wrap output in markdown code fences per experiment")
+		list       = flag.Bool("list", false, "list experiment IDs and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -38,29 +45,65 @@ func main() {
 		return
 	}
 
-	suite, err := planetapps.NewExperimentSuite(planetapps.ExperimentConfig{
-		Seed: *seed, Scale: *scale, Days: *days, CommentUsers: *users,
-	})
-	if err != nil {
-		log.Fatalf("experiments: %v", err)
+	// run carries the body so profile writers flush on every exit path
+	// (log.Fatalf would skip deferred Stop/Write calls).
+	run := func() error {
+		suite, err := planetapps.NewExperimentSuite(planetapps.ExperimentConfig{
+			Seed: *seed, Scale: *scale, Days: *days, CommentUsers: *users,
+			Workers: *workers,
+		})
+		if err != nil {
+			return err
+		}
+		ids := flag.Args()
+		if len(ids) == 0 {
+			ids = planetapps.ExperimentIDs()
+		}
+		for _, id := range ids {
+			start := time.Now()
+			if *markdown {
+				fmt.Printf("## %s\n\n```\n", id)
+			} else {
+				fmt.Printf("===== %s =====\n", id)
+			}
+			if _, err := planetapps.RunExperiment(suite, id, os.Stdout); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			if *markdown {
+				fmt.Printf("```\n\n")
+			}
+			fmt.Fprintf(os.Stderr, "experiments: %s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+		}
+		return nil
 	}
-	ids := flag.Args()
-	if len(ids) == 0 {
-		ids = planetapps.ExperimentIDs()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("experiments: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("experiments: cpuprofile: %v", err)
+		}
 	}
-	for _, id := range ids {
-		start := time.Now()
-		if *markdown {
-			fmt.Printf("## %s\n\n```\n", id)
-		} else {
-			fmt.Printf("===== %s =====\n", id)
+	runErr := run()
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatalf("experiments: %v", err)
 		}
-		if _, err := planetapps.RunExperiment(suite, id, os.Stdout); err != nil {
-			log.Fatalf("experiments: %s: %v", id, err)
+		runtime.GC() // materialize the final live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("experiments: memprofile: %v", err)
 		}
-		if *markdown {
-			fmt.Printf("```\n\n")
+		if err := f.Close(); err != nil {
+			log.Fatalf("experiments: memprofile: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "experiments: %s done in %v\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if runErr != nil {
+		log.Fatalf("experiments: %v", runErr)
 	}
 }

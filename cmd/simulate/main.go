@@ -33,6 +33,7 @@ func main() {
 		p         = flag.Float64("p", 0.9, "clustering probability")
 		clusters  = flag.Int("clusters", 30, "number of clusters (C)")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
+		workers   = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS); the curve is identical for any value")
 		csvPath   = flag.String("csv", "", "write the full rank curve to this CSV file")
 		tracePath = flag.String("trace", "", "write the event stream to this binary trace file")
 	)
@@ -73,7 +74,7 @@ func main() {
 		}
 		fmt.Printf("wrote %s (%d events)\n", *tracePath, n)
 	}
-	res := w.Run(*seed)
+	res := w.RunParallel(*seed, *workers)
 	curve := res.Curve()
 
 	fmt.Printf("model=%s apps=%d users=%d d=%.2f total_downloads=%d\n",

@@ -136,7 +136,9 @@ func (c *CategoryAware) recomputeTargets() {
 		}
 		c.targets[cat] = t
 		assigned += t
-		if n > maxCount {
+		// Tie-break on the lower category id: map iteration order must
+		// not decide who receives the leftover slots.
+		if n > maxCount || (n == maxCount && cat < maxCat) {
 			maxCount, maxCat = n, cat
 		}
 	}
@@ -165,7 +167,10 @@ func (c *CategoryAware) evict(inserting int32) {
 		if cat == inserting {
 			over--
 		}
-		if over > bestOver {
+		// Tie-break on the lower category id, for the same reason as
+		// recomputeTargets: equal-pressure segments must yield the same
+		// victim on every run.
+		if over > bestOver || (over == bestOver && found && cat < victimSeg) {
 			bestOver, victimSeg, found = over, cat, true
 		}
 	}

@@ -288,9 +288,18 @@ func TopKShare(c *catalog.Catalog, cs []Comment, maxK int) []float64 {
 		u.apps[cm.App] = struct{}{}
 		u.total++
 	}
+	// Accumulate in sorted user order: float addition is not associative,
+	// so summing in map-iteration order would make the result vary run to
+	// run.
+	ids := make([]catalog.UserID, 0, len(users))
+	for id := range users {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	sums := make([]float64, maxK)
 	n := 0
-	for _, u := range users {
+	for _, id := range ids {
+		u := users[id]
 		if len(u.apps) < 2 {
 			// The paper excludes users that commented on a single app.
 			continue

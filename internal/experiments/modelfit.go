@@ -18,6 +18,14 @@ func init() {
 // fitStores are the stores the paper fits models against in Figures 8-10.
 var fitStores = []string{"appchina", "anzhi", "1mobile"}
 
+// fitSpec is the standard fitting grid with the suite's worker budget
+// threaded into the Monte Carlo refinement.
+func fitSpec(s *Suite) model.FitSpec {
+	spec := model.DefaultFitSpec()
+	spec.Workers = s.cfg.Workers
+	return spec
+}
+
 // Figure8Result compares the three models' best fits per store (Figure 8).
 type Figure8Result struct {
 	Stores []Figure8Store
@@ -73,19 +81,26 @@ func (r *Figure8Result) BestIsClustering(slack float64) bool {
 }
 
 // Figure8 fits all three models to each store's measured final-day curve.
+// Stores are fitted concurrently (each fit is itself parallel); results land
+// in store-indexed slots so the output order matches fitStores.
 func Figure8(s *Suite) (*Figure8Result, error) {
-	out := &Figure8Result{}
-	for _, store := range fitStores {
+	out := &Figure8Result{Stores: make([]Figure8Store, len(fitStores))}
+	err := s.forEach(len(fitStores), func(i int) error {
+		store := fitStores[i]
 		run, err := s.Market(store)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		curve := run.Series.Last().Curve()
-		fits, err := model.FitAllMC(trimZeroTail(curve), model.DefaultFitSpec(), s.cfg.Seed)
+		fits, err := model.FitAllMC(trimZeroTail(curve), fitSpec(s), s.cfg.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out.Stores = append(out.Stores, Figure8Store{Store: store, Fits: fits})
+		out.Stores[i] = Figure8Store{Store: store, Fits: fits}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -149,33 +164,39 @@ func (r *Figure9Result) ClusteringAlwaysBest(slack float64) bool {
 }
 
 // Figure9 fits each model to the first- and last-day curves of the three
-// fit stores.
+// fit stores. The six (store, edge) datasets are fitted concurrently into
+// index-distinct row slots, preserving the sequential row order.
 func Figure9(s *Suite) (*Figure9Result, error) {
-	out := &Figure9Result{}
-	for _, store := range fitStores {
+	edges := []string{"first", "last"}
+	out := &Figure9Result{Rows: make([]Figure9Row, len(fitStores)*len(edges))}
+	err := s.forEach(len(out.Rows), func(i int) error {
+		store := fitStores[i/len(edges)]
+		edge := edges[i%len(edges)]
 		run, err := s.Market(store)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for _, edge := range []string{"first", "last"} {
-			day := run.Series.First()
-			if edge == "last" {
-				day = run.Series.Last()
-			}
-			curve := trimZeroTail(day.Curve())
-			if len(curve.Downloads) == 0 {
-				return nil, fmt.Errorf("experiments: store %s %s-day curve empty", store, edge)
-			}
-			row := Figure9Row{Store: store, Edge: edge, Distances: map[string]float64{}}
-			for _, k := range model.Kinds {
-				fit, err := model.FitMC(k, curve, model.DefaultFitSpec(), s.cfg.Seed)
-				if err != nil {
-					return nil, err
-				}
-				row.Distances[k.String()] = fit.Distance
-			}
-			out.Rows = append(out.Rows, row)
+		day := run.Series.First()
+		if edge == "last" {
+			day = run.Series.Last()
 		}
+		curve := trimZeroTail(day.Curve())
+		if len(curve.Downloads) == 0 {
+			return fmt.Errorf("experiments: store %s %s-day curve empty", store, edge)
+		}
+		row := Figure9Row{Store: store, Edge: edge, Distances: map[string]float64{}}
+		for _, k := range model.Kinds {
+			fit, err := model.FitMC(k, curve, fitSpec(s), s.cfg.Seed)
+			if err != nil {
+				return err
+			}
+			row.Distances[k.String()] = fit.Distance
+		}
+		out.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -225,23 +246,29 @@ func Figure10(s *Suite) (*Figure10Result, error) {
 		Distance:  map[string][]float64{},
 		Order:     fitStores,
 	}
-	for _, store := range fitStores {
-		run, err := s.Market(store)
+	// Per-store sweeps run concurrently; each writes a distinct slot of the
+	// distances slice, and the map is assembled after the barrier.
+	distances := make([][]float64, len(fitStores))
+	err := s.forEach(len(fitStores), func(i int) error {
+		run, err := s.Market(fitStores[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		curve := trimZeroTail(run.Series.Last().Curve())
 		// The paper fixes the non-U parameters at their best-fit values and
 		// sweeps only the simulated user count.
 		best, err := model.Fit(model.AppClustering, curve, model.DefaultFitSpec())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ds, err := model.UserSweepMC(model.AppClustering, curve, best.Config, out.Fractions, s.cfg.Seed)
-		if err != nil {
-			return nil, err
-		}
-		out.Distance[store] = ds
+		distances[i], err = model.UserSweepMC(model.AppClustering, curve, best.Config, out.Fractions, s.cfg.Seed)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, store := range fitStores {
+		out.Distance[store] = distances[i]
 	}
 	return out, nil
 }

@@ -46,33 +46,37 @@ func (r *SensitivityX5Result) Tables() []*report.Table {
 }
 
 // SensitivityX5 sweeps the planted ClusterP of an anzhi-profile market and
-// fits the models to each resulting curve.
+// fits the models to each resulting curve. The planted configurations are
+// independent (separate markets, separate seeds), so they simulate and fit
+// concurrently into index-distinct row slots.
 func SensitivityX5(s *Suite) (*SensitivityX5Result, error) {
-	out := &SensitivityX5Result{}
-	for _, planted := range []float64{0.1, 0.5, 0.9} {
+	planted := []float64{0.1, 0.5, 0.9}
+	out := &SensitivityX5Result{Rows: make([]SensitivityRow, len(planted))}
+	err := s.forEach(len(planted), func(i int) error {
+		p := planted[i]
 		prof := catalog.Profiles["anzhi"].Scale(s.cfg.Scale)
-		prof.ClusterP = planted
+		prof.ClusterP = p
 		cfg := marketsim.DefaultConfig(prof)
 		cfg.Days = s.cfg.Days
-		m, err := marketsim.New(cfg, s.cfg.Seed+uint64(planted*1000))
+		m, err := marketsim.New(cfg, s.cfg.Seed+uint64(p*1000))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		series, err := m.Run()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		curve := trimZeroTail(series.Last().Curve())
-		cl, err := model.FitMC(model.AppClustering, curve, model.DefaultFitSpec(), s.cfg.Seed)
+		cl, err := model.FitMC(model.AppClustering, curve, fitSpec(s), s.cfg.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		amo, err := model.FitMC(model.ZipfAtMostOnce, curve, model.DefaultFitSpec(), s.cfg.Seed)
+		amo, err := model.FitMC(model.ZipfAtMostOnce, curve, fitSpec(s), s.cfg.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := SensitivityRow{
-			PlantedP:           planted,
+			PlantedP:           p,
 			FittedP:            cl.Config.ClusterP,
 			ClusteringDistance: cl.Distance,
 			AMODistance:        amo.Distance,
@@ -80,7 +84,11 @@ func SensitivityX5(s *Suite) (*SensitivityX5Result, error) {
 		if cl.Distance > 0 {
 			row.Advantage = amo.Distance / cl.Distance
 		}
-		out.Rows = append(out.Rows, row)
+		out.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -8,6 +8,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -30,21 +31,41 @@ type Config struct {
 	Days int
 	// CommentUsers is the commenting population for the behaviour study.
 	CommentUsers int
+	// Workers bounds the parallelism inside each experiment runner (per-
+	// store fan-out, Monte Carlo candidate evaluation). Zero means
+	// runtime.GOMAXPROCS(0). Every experiment's result is invariant to
+	// Workers; the knob only controls scheduling.
+	Workers int
 }
 
 // DefaultConfig returns the standard experiment configuration.
 func DefaultConfig() Config {
-	return Config{Seed: 1, Scale: 1.0, Days: 60, CommentUsers: 30000}
+	return Config{Seed: 1, Scale: 1.0, Days: 60, CommentUsers: 30000,
+		Workers: runtime.GOMAXPROCS(0)}
 }
 
-// Suite carries lazily computed shared state.
+// Suite carries lazily computed shared state. A Suite is safe for
+// concurrent use: independent stores simulate concurrently, and each
+// store's market is computed exactly once (per-store single-flight).
 type Suite struct {
 	cfg Config
 
 	mu      sync.Mutex
-	markets map[string]*MarketRun
-	cstream []comments.Comment
-	ccat    *catalog.Catalog
+	markets map[string]*marketEntry
+
+	commentsOnce sync.Once
+	cstream      []comments.Comment
+	ccat         *catalog.Catalog
+	commentsErr  error
+}
+
+// marketEntry is the single-flight slot for one store's market run: the
+// first caller simulates inside the Once while concurrent callers for the
+// same store wait, and callers for other stores proceed independently.
+type marketEntry struct {
+	once sync.Once
+	run  *MarketRun
+	err  error
 }
 
 // MarketRun couples a completed market simulation with its snapshots.
@@ -64,7 +85,13 @@ func NewSuite(cfg Config) (*Suite, error) {
 	if cfg.CommentUsers < 100 {
 		return nil, fmt.Errorf("experiments: CommentUsers = %d, need >= 100", cfg.CommentUsers)
 	}
-	return &Suite{cfg: cfg, markets: map[string]*MarketRun{}}, nil
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("experiments: Workers = %d, need >= 0", cfg.Workers)
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Suite{cfg: cfg, markets: map[string]*marketEntry{}}, nil
 }
 
 // Config returns the suite configuration.
@@ -77,13 +104,25 @@ func (s *Suite) StoreNames() []string {
 }
 
 // Market returns (simulating on first use) the completed market run for a
-// store profile.
+// store profile. The suite mutex guards only the entry lookup; the
+// simulation itself runs inside the entry's Once, so concurrent callers
+// asking for different stores simulate in parallel while callers for the
+// same store coalesce onto one computation.
 func (s *Suite) Market(store string) (*MarketRun, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if run, ok := s.markets[store]; ok {
-		return run, nil
+	e, ok := s.markets[store]
+	if !ok {
+		e = &marketEntry{}
+		s.markets[store] = e
 	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.run, e.err = s.simulateMarket(store) })
+	return e.run, e.err
+}
+
+// simulateMarket builds and runs one store's market; called exactly once
+// per store via the entry's Once.
+func (s *Suite) simulateMarket(store string) (*MarketRun, error) {
 	prof, ok := catalog.Profiles[store]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown store %q", store)
@@ -98,9 +137,7 @@ func (s *Suite) Market(store string) (*MarketRun, error) {
 	if err != nil {
 		return nil, err
 	}
-	run := &MarketRun{Market: m, Series: series}
-	s.markets[store] = run
-	return run, nil
+	return &MarketRun{Market: m, Series: series}, nil
 }
 
 // storeSeed gives each store an independent but deterministic seed offset.
@@ -114,50 +151,69 @@ func storeSeed(store string) uint64 {
 }
 
 // CommentData returns (generating on first use) the Anzhi-profile comment
-// stream and its catalog for the §4 behaviour experiments.
+// stream and its catalog for the §4 behaviour experiments. Generation is
+// single-flight and may itself trigger (or wait on) the anzhi market
+// simulation without blocking other stores.
 func (s *Suite) CommentData() (*catalog.Catalog, []comments.Comment, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.cstream != nil {
-		return s.ccat, s.cstream, nil
-	}
-	run, err := s.marketLocked("anzhi")
-	if err != nil {
-		return nil, nil, err
-	}
-	gcfg := comments.DefaultGenConfig(s.cfg.CommentUsers)
-	gcfg.Days = s.cfg.Days
-	cs, err := comments.Generate(run.Market.Catalog(), gcfg, s.cfg.Seed+0xc0ffee)
-	if err != nil {
-		return nil, nil, err
-	}
-	s.ccat = run.Market.Catalog()
-	s.cstream = cs
-	return s.ccat, s.cstream, nil
+	s.commentsOnce.Do(func() {
+		run, err := s.Market("anzhi")
+		if err != nil {
+			s.commentsErr = err
+			return
+		}
+		gcfg := comments.DefaultGenConfig(s.cfg.CommentUsers)
+		gcfg.Days = s.cfg.Days
+		cs, err := comments.Generate(run.Market.Catalog(), gcfg, s.cfg.Seed+0xc0ffee)
+		if err != nil {
+			s.commentsErr = err
+			return
+		}
+		s.ccat = run.Market.Catalog()
+		s.cstream = cs
+	})
+	return s.ccat, s.cstream, s.commentsErr
 }
 
-// marketLocked is Market without re-locking (callers hold s.mu).
-func (s *Suite) marketLocked(store string) (*MarketRun, error) {
-	if run, ok := s.markets[store]; ok {
-		return run, nil
+// forEach runs fn(0..n-1) on up to s.cfg.Workers goroutines and returns the
+// lowest-index error. With Workers = 1 it degenerates to a plain sequential
+// loop. Callers must write results into index-distinct slots so the
+// assembled output is invariant to scheduling.
+func (s *Suite) forEach(n int, fn func(i int) error) error {
+	workers := s.cfg.Workers
+	if workers > n {
+		workers = n
 	}
-	prof, ok := catalog.Profiles[store]
-	if !ok {
-		return nil, fmt.Errorf("experiments: unknown store %q", store)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	cfg := marketsim.DefaultConfig(prof.Scale(s.cfg.Scale))
-	cfg.Days = s.cfg.Days
-	m, err := marketsim.New(cfg, s.cfg.Seed+storeSeed(store))
-	if err != nil {
-		return nil, err
+	errs := make([]error, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				errs[i] = fn(i)
+			}
+		}()
 	}
-	series, err := m.Run()
-	if err != nil {
-		return nil, err
+	for i := 0; i < n; i++ {
+		jobs <- i
 	}
-	run := &MarketRun{Market: m, Series: series}
-	s.markets[store] = run
-	return run, nil
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Result is the common interface of experiment outputs: a stable identifier

@@ -2,7 +2,9 @@ package model
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"planetapps/internal/dist"
 )
@@ -32,6 +34,11 @@ type FitSpec struct {
 	// well-populated prefix and the final reported distance comes from a
 	// Monte Carlo run over the full curve (FitMC). Zero means 3.
 	MinObserved float64
+	// Workers bounds the number of Monte Carlo candidate evaluations FitMC
+	// runs concurrently (FitAllMC passes it through to each per-kind fit).
+	// Zero means runtime.GOMAXPROCS(0). Fit results are invariant to
+	// Workers; the knob only controls scheduling.
+	Workers int
 }
 
 // DefaultFitSpec covers the parameter ranges the paper reports as best fits
@@ -161,13 +168,6 @@ func fitCandidates(kind Kind, observed dist.RankCurve, spec FitSpec) ([]FitResul
 	return cands, nil
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 // prefixDistance is Eq. 6 restricted to the first n ranks.
 func prefixDistance(observed, predicted dist.RankCurve, n int) float64 {
 	if n > len(observed.Downloads) {
@@ -189,21 +189,51 @@ const mcDistanceRuns = 3
 // returns the mean Eq. 6 distance between the simulated and observed rank
 // curves — the comparison the paper's §5.2 actually performs. Simulated
 // zero-download tail ranks are trimmed the way measured curves are.
+//
+// The independent runs execute concurrently; per-run distances land in
+// run-indexed slots and are summed in run order, so the result is
+// byte-identical to a sequential evaluation.
 func MCDistance(kind Kind, cfg Config, observed dist.RankCurve, seed uint64) (float64, error) {
 	sim, err := NewSimulator(kind, cfg)
 	if err != nil {
 		return 0, err
 	}
-	var sum float64
+	var dists [mcDistanceRuns]float64
+	var wg sync.WaitGroup
 	for run := 0; run < mcDistanceRuns; run++ {
-		curve := sim.Run(seed + uint64(run)*0x9e3779b97f4a7c15).Curve()
-		n := len(curve.Downloads)
-		for n > 0 && curve.Downloads[n-1] <= 0 {
-			n--
-		}
-		sum += dist.MeanRelativeError(observed, dist.RankCurve{Downloads: curve.Downloads[:n]})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			curve := sim.Run(seed + uint64(run)*0x9e3779b97f4a7c15).Curve()
+			n := len(curve.Downloads)
+			for n > 0 && curve.Downloads[n-1] <= 0 {
+				n--
+			}
+			dists[run] = dist.MeanRelativeError(observed, dist.RankCurve{Downloads: curve.Downloads[:n]})
+		}()
+	}
+	wg.Wait()
+	var sum float64
+	for _, d := range dists {
+		sum += d
 	}
 	return sum / mcDistanceRuns, nil
+}
+
+// fitWorkers resolves a FitSpec.Workers value against the available
+// parallelism and the amount of independent work.
+func fitWorkers(spec FitSpec, jobs int) int {
+	w := spec.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // maxMCCandidates bounds the Monte Carlo refinement in FitMC.
@@ -213,6 +243,12 @@ const maxMCCandidates = 12
 // per zr value) and then selects among them by the distance of Monte Carlo
 // runs against the full observed curve, mirroring the paper's
 // simulate-and-compare procedure while keeping the sweep cheap.
+//
+// Candidates are evaluated on a pool of spec.Workers goroutines. Distances
+// land in candidate-indexed slots and the winner is selected by a scan in
+// shortlist order (strict <), so the chosen fit is byte-identical to a
+// sequential evaluation for any worker count; on error, the lowest-index
+// candidate's error is returned.
 func FitMC(kind Kind, observed dist.RankCurve, spec FitSpec, seed uint64) (FitResult, error) {
 	cands, err := fitCandidates(kind, observed, spec)
 	if err != nil {
@@ -221,29 +257,58 @@ func FitMC(kind Kind, observed dist.RankCurve, spec FitSpec, seed uint64) (FitRe
 	if len(cands) > maxMCCandidates {
 		cands = cands[:maxMCCandidates]
 	}
+	dists := make([]float64, len(cands))
+	errs := make([]error, len(cands))
+	workers := fitWorkers(spec, len(cands))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				dists[i], errs[i] = MCDistance(kind, cands[i].Config, observed, seed)
+			}
+		}()
+	}
+	for i := range cands {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
 	best := FitResult{Kind: kind, Distance: -1}
-	for _, c := range cands {
-		d, err := MCDistance(kind, c.Config, observed, seed)
-		if err != nil {
-			return FitResult{}, err
+	for i, c := range cands {
+		if errs[i] != nil {
+			return FitResult{}, errs[i]
 		}
-		if best.Distance < 0 || d < best.Distance {
+		if best.Distance < 0 || dists[i] < best.Distance {
 			best.Config = c.Config
-			best.Distance = d
+			best.Distance = dists[i]
 		}
 	}
 	return best, nil
 }
 
-// FitAllMC runs FitMC for every model kind, sorted best-first.
+// FitAllMC runs FitMC for every model kind concurrently and returns the
+// fits sorted best-first. Per-kind results land in kind-indexed slots before
+// sorting, so the output is independent of goroutine scheduling; on error,
+// the first kind's (in Kinds order) error wins.
 func FitAllMC(observed dist.RankCurve, spec FitSpec, seed uint64) ([]FitResult, error) {
-	out := make([]FitResult, 0, len(Kinds))
-	for _, k := range Kinds {
-		f, err := FitMC(k, observed, spec, seed)
+	out := make([]FitResult, len(Kinds))
+	errs := make([]error, len(Kinds))
+	var wg sync.WaitGroup
+	for i, k := range Kinds {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i], errs[i] = FitMC(k, observed, spec, seed)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, f)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Distance < out[j].Distance })
 	return out, nil
@@ -260,18 +325,26 @@ func UserSweepMC(kind Kind, observed dist.RankCurve, base Config, fractions []fl
 		return nil, fmt.Errorf("model: observed curve has no downloads")
 	}
 	out := make([]float64, len(fractions))
+	errs := make([]error, len(fractions))
+	var wg sync.WaitGroup
 	for i, f := range fractions {
-		cfg := base
-		cfg.Users = int(f * top)
-		if cfg.Users < 1 {
-			cfg.Users = 1
-		}
-		cfg.DownloadsPerUser = total / float64(cfg.Users)
-		d, err := MCDistance(kind, cfg, observed, seed)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfg := base
+			cfg.Users = int(f * top)
+			if cfg.Users < 1 {
+				cfg.Users = 1
+			}
+			cfg.DownloadsPerUser = total / float64(cfg.Users)
+			out[i], errs[i] = MCDistance(kind, cfg, observed, seed)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out[i] = d
 	}
 	return out, nil
 }

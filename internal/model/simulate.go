@@ -2,6 +2,8 @@ package model
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"planetapps/internal/dist"
 	"planetapps/internal/rng"
@@ -72,10 +74,20 @@ const maxRetries = 64
 
 // userState tracks one simulated user's history. The zero value is a user
 // with no downloads.
+//
+// Membership (fetch-at-most-once) has two representations with identical
+// semantics: an epoch-stamped array when `seen` is set (the Run/RunParallel
+// hot path — one O(apps) slice per worker reused across its users, zero
+// per-draw map traffic), and a lazily-allocated map otherwise (Stream keeps
+// many users alive at once, where a per-user apps-sized array would blow up
+// memory).
 type userState struct {
-	// downloaded marks apps this user has fetched (fetch-at-most-once).
-	// It is allocated lazily on the first download.
+	// downloaded marks apps this user has fetched; used when seen == nil.
 	downloaded map[int32]struct{}
+	// seen[app] == epoch marks apps downloaded by the current user; the
+	// stamp bump in reset makes clearing free.
+	seen  []int32
+	epoch int32
 	// history lists previous downloads in order; APP-CLUSTERING picks the
 	// cluster of a uniformly random element (§5.1 step 2.1: "randomly
 	// chosen from previous downloads with a uniform probability").
@@ -83,15 +95,22 @@ type userState struct {
 }
 
 func (u *userState) has(app int32) bool {
+	if u.seen != nil {
+		return u.seen[app] == u.epoch
+	}
 	_, ok := u.downloaded[app]
 	return ok
 }
 
 func (u *userState) record(app int32) {
-	if u.downloaded == nil {
-		u.downloaded = make(map[int32]struct{}, 8)
+	if u.seen != nil {
+		u.seen[app] = u.epoch
+	} else {
+		if u.downloaded == nil {
+			u.downloaded = make(map[int32]struct{}, 8)
+		}
+		u.downloaded[app] = struct{}{}
 	}
-	u.downloaded[app] = struct{}{}
 	u.history = append(u.history, app)
 }
 
@@ -158,29 +177,96 @@ func (s *Simulator) nextDownload(r *rng.RNG, u *userState) (int32, bool) {
 
 // Run simulates all users and returns per-app download totals. The run is
 // deterministic in (simulator config, seed).
+//
+// Every user draws from a private RNG stream derived as root.Split(userIndex)
+// from the run's root generator, so users are mutually independent and the
+// result does not depend on the order users are simulated in: Run(seed) and
+// RunParallel(seed, w) are byte-identical for every worker count w.
 func (s *Simulator) Run(seed uint64) Result {
-	r := rng.New(seed)
-	res := Result{Downloads: make([]int64, s.cfg.Apps)}
-	var u userState
-	for i := 0; i < s.cfg.Users; i++ {
+	return s.RunParallel(seed, 1)
+}
+
+// userStreams derives one private generator per user from the run's root.
+// Splitting happens in user-index order on one goroutine, so stream i is a
+// pure function of (seed, i) no matter which worker later consumes it. The
+// family lives in a single value slice (SplitInto) — a per-user pointer
+// allocation here dominates the engine's sequential overhead otherwise.
+func (s *Simulator) userStreams(seed uint64) []rng.RNG {
+	root := rng.New(seed)
+	streams := make([]rng.RNG, s.cfg.Users)
+	for i := range streams {
+		root.SplitInto(uint64(i), &streams[i])
+	}
+	return streams
+}
+
+// simulateUsers runs users [lo, hi) against a shard accumulator owned by the
+// calling worker (no synchronization on the hot loop) and returns the number
+// of downloads generated. downloads must have length cfg.Apps.
+func (s *Simulator) simulateUsers(streams []rng.RNG, lo, hi int, downloads []int64) int64 {
+	var total int64
+	u := userState{seen: make([]int32, s.cfg.Apps)}
+	for i := lo; i < hi; i++ {
+		r := &streams[i]
 		n := userDownloads(r, s.cfg.DownloadsPerUser)
 		if n > s.cfg.Apps {
 			n = s.cfg.Apps
 		}
-		// Reset per-user state, reusing the map to reduce allocation.
+		// Reset per-user state: bumping the epoch invalidates the previous
+		// user's marks without touching the array.
 		u.history = u.history[:0]
-		for k := range u.downloaded {
-			delete(u.downloaded, k)
-		}
+		u.epoch++
 		for k := 0; k < n; k++ {
 			app, ok := s.nextDownload(r, &u)
 			if !ok {
 				break
 			}
 			u.record(app)
-			res.Downloads[app]++
-			res.Total++
+			downloads[app]++
+			total++
 		}
+	}
+	return total
+}
+
+// RunParallel is Run partitioned across a worker pool: users are split into
+// contiguous shards, each worker accumulates into a private []int64 merged
+// at the end, so the hot loop carries no atomics or locks. Because every
+// user owns a split RNG stream, the result is byte-identical to Run(seed)
+// for any worker count. workers <= 0 means runtime.GOMAXPROCS(0).
+func (s *Simulator) RunParallel(seed uint64, workers int) Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > s.cfg.Users {
+		workers = s.cfg.Users
+	}
+	streams := s.userStreams(seed)
+	res := Result{Downloads: make([]int64, s.cfg.Apps)}
+	if workers <= 1 {
+		res.Total = s.simulateUsers(streams, 0, s.cfg.Users, res.Downloads)
+		return res
+	}
+	shards := make([][]int64, workers)
+	totals := make([]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * s.cfg.Users / workers
+		hi := (w + 1) * s.cfg.Users / workers
+		shard := make([]int64, s.cfg.Apps)
+		shards[w] = shard
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			totals[w] = s.simulateUsers(streams, lo, hi, shard)
+		}()
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		for i, d := range shards[w] {
+			res.Downloads[i] += d
+		}
+		res.Total += totals[w]
 	}
 	return res
 }

@@ -41,14 +41,35 @@ func New(seed uint64) *RNG {
 // Split derives an independent child generator from r and the given label.
 // Splitting lets concurrent simulation components own private streams while
 // remaining fully determined by the root seed.
+//
+// Contract (relied on by model.Simulator.RunParallel and every other
+// deterministic-parallel consumer): the child's stream is a pure function of
+// (r's state at the call, label), and Split advances r by exactly one Uint64
+// draw. A sequence root.Split(0), root.Split(1), ... therefore yields a
+// fixed family of streams that can be handed to any number of workers in
+// any partition without changing a single drawn value — parallel results
+// stay byte-identical to sequential ones. An RNG itself is NOT safe for
+// concurrent use; perform all splitting on one goroutine, then give each
+// worker exclusive ownership of its children. The splitting algorithm is
+// part of this package's compatibility contract and must not change, or
+// every recorded experiment seed silently re-rolls.
 func (r *RNG) Split(label uint64) *RNG {
-	st := r.Uint64() ^ (label * 0x9e3779b97f4a7c15)
 	c := &RNG{}
-	c.s0 = splitmix64(&st)
-	c.s1 = splitmix64(&st)
-	c.s2 = splitmix64(&st)
-	c.s3 = splitmix64(&st)
+	r.SplitInto(label, c)
 	return c
+}
+
+// SplitInto is Split writing the child state into dst instead of
+// allocating. It derives the exact same child as Split for the same
+// (state, label), so the two are interchangeable under the compatibility
+// contract; bulk consumers (one stream per simulated user) use it to
+// build a whole stream family in a single allocation.
+func (r *RNG) SplitInto(label uint64, dst *RNG) {
+	st := r.Uint64() ^ (label * 0x9e3779b97f4a7c15)
+	dst.s0 = splitmix64(&st)
+	dst.s1 = splitmix64(&st)
+	dst.s2 = splitmix64(&st)
+	dst.s3 = splitmix64(&st)
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

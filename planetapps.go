@@ -18,8 +18,12 @@
 //   - Pricing and revenue analysis (§6): PricingReport.
 //   - The full per-figure experiment suite: RunExperiment.
 //
-// Everything is deterministic in an explicit 64-bit seed. See DESIGN.md for
-// the system inventory and EXPERIMENTS.md for paper-vs-measured results.
+// Everything is deterministic in an explicit 64-bit seed, and the Monte
+// Carlo compute paths are parallel without giving that up: each simulated
+// user draws from a split RNG stream, so Workload.RunParallel, FitModels
+// (FitSpec.Workers) and the experiment suite (ExperimentConfig.Workers)
+// produce byte-identical results for any worker count. See DESIGN.md §3d
+// for the contract and EXPERIMENTS.md for paper-vs-measured results.
 package planetapps
 
 import (
@@ -270,6 +274,9 @@ type ExperimentConfig struct {
 	Days int
 	// CommentUsers sizes the §4 behaviour study (default 30000).
 	CommentUsers int
+	// Workers bounds per-experiment parallelism (default GOMAXPROCS).
+	// Results are byte-identical for any value; see DESIGN.md §3d.
+	Workers int
 }
 
 // NewExperimentSuite builds a suite for RunExperiment. Results are cached
@@ -287,6 +294,9 @@ func NewExperimentSuite(cfg ExperimentConfig) (*experiments.Suite, error) {
 	}
 	if cfg.CommentUsers != 0 {
 		def.CommentUsers = cfg.CommentUsers
+	}
+	if cfg.Workers != 0 {
+		def.Workers = cfg.Workers
 	}
 	return experiments.NewSuite(def)
 }
