@@ -408,6 +408,66 @@ func BenchmarkHistogramObserve(b *testing.B) {
 	}
 }
 
+// dayRollProfile builds a free+paid catalog profile of n apps with
+// crawl-realistic churn: day-over-day deltas (downloads, updates, price
+// changes, arrivals) are a small fraction of catalog size, the regime the
+// paper's daily crawls observe and the day-roll path must exploit.
+func dayRollProfile(n int) catalog.Profile {
+	return catalog.Profile{
+		Name: "dayroll", Apps: n, Categories: 30, PaidFraction: 0.1,
+		AdFraction: 0.67, NewAppsPerDay: float64(n) / 2000,
+		Users: n, DownloadsPerUser: 82,
+		ZipfGlobal: 1.4, ZipfCluster: 1.4, ClusterP: 0.9, CategorySkew: 0.35,
+		PriceLogMu: 1.0, PriceLogSigma: 0.8, MeanUpdateRate: 0.003,
+	}
+}
+
+// dayRollMarket builds the market driven by BenchmarkAdvanceDayExport: a
+// long period (so the bench never exhausts it) whose daily download volume
+// is ~2% of the catalog (Users * DownloadsPerUser / Days), alongside
+// ~0.3% updated and ~0.05% newly arrived apps per day — the small
+// day-over-day deltas the paper's daily crawls observe.
+func dayRollMarket(b *testing.B, n int) *marketsim.Market {
+	b.Helper()
+	cfg := marketsim.DefaultConfig(dayRollProfile(n))
+	cfg.Days = 4096
+	cfg.WarmupDays = 0
+	// The serving path never reads the per-app daily series, so a store
+	// deployment runs with recording off (appstored -no-series). The knob
+	// is observation-only: TestSeedDeterminismAcrossModes proves the
+	// simulated market is identical either way.
+	cfg.DisableSeries = true
+	m, err := marketsim.New(cfg, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkAdvanceDayExport measures the full day-roll cost on the serving
+// path — market Step (simulation) + Export (catalog/download freeze) +
+// snapshot rebuild (response-cache construction) — at catalog sizes where
+// O(catalog) work per day dominates. This is the write-path counterpart of
+// the read-path serving benchmarks above.
+func BenchmarkAdvanceDayExport(b *testing.B) {
+	for _, n := range []int{10_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("apps=%d", n), func(b *testing.B) {
+			if n >= 1_000_000 && testing.Short() {
+				b.Skip("1M-app market build is slow; run without -short")
+			}
+			m := dayRollMarket(b, n)
+			s := storeserver.New(m, storeserver.Config{PageSize: 100})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.AdvanceDay(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMarketDay measures one simulated market day on the anzhi
 // profile.
 func BenchmarkMarketDay(b *testing.B) {

@@ -33,17 +33,21 @@ import (
 
 func main() {
 	var (
-		store    = flag.String("store", "anzhi", "store profile: slideme, 1mobile, appchina, anzhi")
-		addr     = flag.String("addr", ":8080", "listen address")
-		scale    = flag.Float64("scale", 0.5, "population scale factor")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		days     = flag.Int("days", 60, "simulated measurement period length")
-		dayEvery = flag.Duration("day-every", 0, "advance one simulated day per interval (0 = only via crawler-observed day 0)")
-		rate     = flag.Float64("rate", 200, "per-client request rate limit (req/s, 0 = off)")
-		burst    = flag.Int("burst", 50, "per-client rate limit burst")
+		store     = flag.String("store", "anzhi", "store profile: slideme, 1mobile, appchina, anzhi")
+		addr      = flag.String("addr", ":8080", "listen address")
+		scale     = flag.Float64("scale", 0.5, "population scale factor")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		days      = flag.Int("days", 60, "simulated measurement period length")
+		dayEvery  = flag.Duration("day-every", 0, "advance one simulated day per interval (0 = only via crawler-observed day 0)")
+		rate      = flag.Float64("rate", 200, "per-client request rate limit (req/s, 0 = off)")
+		burst     = flag.Int("burst", 50, "per-client rate limit burst")
 		comments  = flag.Int("comments", 20000, "commenting user population (0 = no comments)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown deadline for in-flight requests")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
+
+		prewarm        = flag.Int("prewarm", 0, "pre-encode this many hot documents after each day roll (0 = off)")
+		prewarmWorkers = flag.Int("prewarm-workers", 0, "pre-warm worker pool size (0 = default)")
+		noSeries       = flag.Bool("no-series", false, "skip per-app daily time-series recording (serving only needs cumulative counts)")
 	)
 	flag.Parse()
 
@@ -55,6 +59,7 @@ func main() {
 	prof = prof.Scale(*scale)
 	cfg := planetapps.DefaultMarketConfig(prof)
 	cfg.Days = *days
+	cfg.DisableSeries = *noSeries
 
 	// Create the market without running the whole period: the server
 	// advances days on demand (day 0 is already populated via warmup).
@@ -63,9 +68,11 @@ func main() {
 		log.Fatalf("appstored: %v", err)
 	}
 	srv := storeserver.New(m, storeserver.Config{
-		PageSize:   100,
-		RatePerSec: *rate,
-		Burst:      *burst,
+		PageSize:       100,
+		RatePerSec:     *rate,
+		Burst:          *burst,
+		PrewarmDocs:    *prewarm,
+		PrewarmWorkers: *prewarmWorkers,
 	})
 	if *comments > 0 {
 		cs, err := planetapps.GenerateComments(m.Catalog(), *comments, *seed+1)

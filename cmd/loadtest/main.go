@@ -66,6 +66,9 @@ func main() {
 		serverScale = flag.Float64("scale", 0.2, "in-process store population scale")
 		serverRate  = flag.Float64("server-rate", 0, "in-process per-client rate limit (req/s, 0 = off)")
 		serverBurst = flag.Int("server-burst", 50, "in-process rate limit burst")
+
+		dayRoll = flag.Duration("day-roll", 0, "day-roll scenario: advance the in-process store one day this long into the measured window and report pre/post-swap latency separately (0 = off)")
+		prewarm = flag.Int("prewarm", 0, "in-process store: pre-encode this many hot documents after each day roll (0 = off)")
 	)
 	flag.Parse()
 
@@ -86,9 +89,10 @@ func main() {
 			log.Fatalf("loadtest: market: %v", err)
 		}
 		srv = storeserver.New(m, storeserver.Config{
-			PageSize:   100,
-			RatePerSec: *serverRate,
-			Burst:      *serverBurst,
+			PageSize:    100,
+			RatePerSec:  *serverRate,
+			Burst:       *serverBurst,
+			PrewarmDocs: *prewarm,
 		})
 		ts := httptest.NewServer(srv.Handler())
 		defer ts.Close()
@@ -131,6 +135,13 @@ func main() {
 		APKEvery:    *apkEvery,
 		Seed:        *seed,
 	}
+	if *dayRoll > 0 {
+		if srv == nil {
+			log.Fatal("loadtest: -day-roll requires the in-process store (drop -target)")
+		}
+		base.DayRollAfter = *dayRoll
+		base.DayRollFn = srv.AdvanceDay
+	}
 
 	var modes []loadgen.Mode
 	switch *mode {
@@ -169,6 +180,14 @@ func main() {
 		log.Printf("loadtest: %s: %d events, %d requests, %.0f rps, p50 %.2fms p99 %.2fms, %d limited, %d errors",
 			m, rep.Events, rep.Requests, rep.ThroughputRPS,
 			classLatency(rep).P50, classLatency(rep).P99, rep.RateLimited, rep.Errors)
+		if dr := rep.DayRoll; dr != nil {
+			if !dr.Rolled {
+				log.Printf("loadtest: %s: day roll never fired — run shorter than warmup+%v", m, *dayRoll)
+			} else if c := detailClass(rep); c != nil && c.PreRollMS != nil && c.PostRollMS != nil {
+				log.Printf("loadtest: %s: day roll at %.2fs took %.2fms; detail p99 pre %.2fms (%d reqs) -> post %.2fms (%d reqs)",
+					m, dr.AtSec, dr.RollMS, c.PreRollMS.P99, c.PreRollCount, c.PostRollMS.P99, c.PostRollCount)
+			}
+		}
 	}
 	if srv != nil {
 		combined["server"] = map[string]any{
@@ -196,12 +215,20 @@ func main() {
 
 // classLatency picks the detail-class latency summary for the log line.
 func classLatency(rep *loadgen.Report) loadgen.LatencySummary {
-	for _, c := range rep.Classes {
-		if c.Class == loadgen.ClassDetail {
-			return c.LatencyMS
-		}
+	if c := detailClass(rep); c != nil {
+		return c.LatencyMS
 	}
 	return loadgen.LatencySummary{}
+}
+
+// detailClass finds the detail-class report, nil if absent.
+func detailClass(rep *loadgen.Report) *loadgen.ClassReport {
+	for i := range rep.Classes {
+		if rep.Classes[i].Class == loadgen.ClassDetail {
+			return &rep.Classes[i]
+		}
+	}
+	return nil
 }
 
 // sourceFactory returns a function producing fresh Sources over the same

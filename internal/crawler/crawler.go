@@ -6,6 +6,7 @@
 package crawler
 
 import (
+	"container/list"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"planetapps/internal/db"
+	"planetapps/internal/metrics"
 	"planetapps/internal/proxy"
 	"planetapps/internal/storeserver"
 )
@@ -45,6 +47,15 @@ type Config struct {
 	FetchAPKs bool
 	// Timeout bounds each HTTP request.
 	Timeout time.Duration
+	// CondCacheSize bounds the per-URL conditional-GET cache (entries);
+	// least-recently-used entries are evicted past the cap. <= 0 uses a
+	// default of 65536 — comfortably above one crawl pass of the test
+	// stores, so eviction only kicks in on long multi-store sessions.
+	CondCacheSize int
+	// Metrics optionally wires the crawler's counters (requests, 304
+	// revalidation hits, conditional-cache evictions) into a registry,
+	// e.g. the one a co-located /metrics endpoint serves.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns a configuration suited to the in-process store.
@@ -79,6 +90,14 @@ type Stats struct {
 	// revalidated ETag — payloads the crawler skipped, the metadata
 	// counterpart of the version-aware APK dedup.
 	NotModified int64
+	// NotModifiedRate is NotModified/Requests — the conditional-GET hit
+	// rate. With content-version ETags it approximates the store's
+	// unchanged fraction; near zero it means the crawler is paying full
+	// transfer for a mostly static catalog.
+	NotModifiedRate float64
+	// CondEvictions counts conditional-cache entries dropped by the LRU
+	// cap; each eviction turns a would-be 304 back into a full transfer.
+	CondEvictions int64
 }
 
 // Crawler crawls one store into a database.
@@ -95,20 +114,67 @@ type Crawler struct {
 	// cond caches the last validated (ETag, body) per JSON URL so repeat
 	// crawls can revalidate with If-None-Match and decode the cached bytes
 	// on 304 — the same skip-unchanged-payloads discipline the APK path
-	// gets from HasAPK. Bounded by the store's URL population (pages +
-	// per-app endpoints), which the daily-crawl workload revisits in full,
-	// so there is no eviction.
-	condMu sync.Mutex
-	cond   map[string]condEntry
+	// gets from HasAPK. The cache is LRU-bounded at cfg.CondCacheSize
+	// entries (a long-lived crawler visiting many stores would otherwise
+	// grow it without bound); condLRU orders entries by last touch,
+	// front = most recent.
+	condMu        sync.Mutex
+	cond          map[string]*list.Element
+	condLRU       *list.List
+	condEvictions int64
 
 	rateMu sync.Mutex
 	tokens float64
 	last   time.Time
+
+	// Optional registry-backed counters (nil without cfg.Metrics).
+	mRequests    *metrics.Counter
+	mNotModified *metrics.Counter
+	mEvictions   *metrics.Counter
 }
 
 type condEntry struct {
+	url  string
 	etag string
 	body []byte
+}
+
+// condGet returns the cached validator for url, marking it most recently
+// used.
+func (c *Crawler) condGet(url string) (condEntry, bool) {
+	c.condMu.Lock()
+	defer c.condMu.Unlock()
+	el, ok := c.cond[url]
+	if !ok {
+		return condEntry{}, false
+	}
+	c.condLRU.MoveToFront(el)
+	return el.Value.(condEntry), true
+}
+
+// condPut stores a validated (etag, body) for url, evicting the least
+// recently used entry when the cache is full.
+func (c *Crawler) condPut(url, etag string, body []byte) {
+	c.condMu.Lock()
+	defer c.condMu.Unlock()
+	if el, ok := c.cond[url]; ok {
+		el.Value = condEntry{url: url, etag: etag, body: body}
+		c.condLRU.MoveToFront(el)
+		return
+	}
+	for len(c.cond) >= c.cfg.CondCacheSize {
+		oldest := c.condLRU.Back()
+		if oldest == nil {
+			break
+		}
+		c.condLRU.Remove(oldest)
+		delete(c.cond, oldest.Value.(condEntry).url)
+		c.condEvictions++
+		if c.mEvictions != nil {
+			c.mEvictions.Inc()
+		}
+	}
+	c.cond[url] = c.condLRU.PushFront(condEntry{url: url, etag: etag, body: body})
 }
 
 // New creates a crawler writing into the given database.
@@ -128,20 +194,30 @@ func New(cfg Config, database *db.DB) (*Crawler, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 10 * time.Second
 	}
+	if cfg.CondCacheSize <= 0 {
+		cfg.CondCacheSize = 65536
+	}
 	transport := &http.Transport{
 		MaxIdleConnsPerHost: cfg.Workers,
 	}
 	if cfg.Proxies != nil {
 		transport.Proxy = cfg.Proxies.ProxyFunc()
 	}
-	return &Crawler{
-		cfg:    cfg,
-		client: &http.Client{Transport: transport, Timeout: cfg.Timeout},
-		db:     database,
-		cond:   map[string]condEntry{},
-		tokens: cfg.RatePerSec,
-		last:   time.Now(),
-	}, nil
+	c := &Crawler{
+		cfg:     cfg,
+		client:  &http.Client{Transport: transport, Timeout: cfg.Timeout},
+		db:      database,
+		cond:    map[string]*list.Element{},
+		condLRU: list.New(),
+		tokens:  cfg.RatePerSec,
+		last:    time.Now(),
+	}
+	if cfg.Metrics != nil {
+		c.mRequests = cfg.Metrics.Counter("crawler_requests_total")
+		c.mNotModified = cfg.Metrics.Counter("crawler_not_modified_total")
+		c.mEvictions = cfg.Metrics.Counter("crawler_cond_evictions_total")
+	}
+	return c, nil
 }
 
 // DB returns the crawler's database.
@@ -202,15 +278,16 @@ func (c *Crawler) getJSON(ctx context.Context, url string, out any) error {
 			return err
 		}
 		req.Header.Set("User-Agent", "planetapps-crawler/1.0")
-		c.condMu.Lock()
-		cached, haveCached := c.cond[url]
-		c.condMu.Unlock()
+		cached, haveCached := c.condGet(url)
 		if haveCached {
 			req.Header.Set("If-None-Match", cached.etag)
 		}
 		c.mu.Lock()
 		c.requests++
 		c.mu.Unlock()
+		if c.mRequests != nil {
+			c.mRequests.Inc()
+		}
 		resp, err := c.client.Do(req)
 		if err != nil {
 			lastErr = err
@@ -226,9 +303,7 @@ func (c *Crawler) getJSON(ctx context.Context, url string, out any) error {
 					return
 				}
 				if etag := resp.Header.Get("ETag"); etag != "" {
-					c.condMu.Lock()
-					c.cond[url] = condEntry{etag: etag, body: body}
-					c.condMu.Unlock()
+					c.condPut(url, etag, body)
 				}
 				lastErr = json.Unmarshal(body, out)
 			case resp.StatusCode == http.StatusNotModified && haveCached:
@@ -236,6 +311,9 @@ func (c *Crawler) getJSON(ctx context.Context, url string, out any) error {
 				c.mu.Lock()
 				c.notModified++
 				c.mu.Unlock()
+				if c.mNotModified != nil {
+					c.mNotModified.Inc()
+				}
 				lastErr = json.Unmarshal(cached.body, out)
 			case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
 				io.Copy(io.Discard, resp.Body) //nolint:errcheck
@@ -424,7 +502,7 @@ feed:
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Day:         day,
 		Apps:        int(appCount),
 		Comments:    int(commentCount),
@@ -433,5 +511,12 @@ feed:
 		Requests:    c.requests,
 		Retries:     c.retries,
 		NotModified: c.notModified,
-	}, nil
+	}
+	if st.Requests > 0 {
+		st.NotModifiedRate = float64(st.NotModified) / float64(st.Requests)
+	}
+	c.condMu.Lock()
+	st.CondEvictions = c.condEvictions
+	c.condMu.Unlock()
+	return st, nil
 }

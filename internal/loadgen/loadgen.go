@@ -28,6 +28,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"planetapps/internal/metrics"
@@ -109,6 +110,16 @@ type Config struct {
 	APKEvery int
 	// Seed drives think-time jitter.
 	Seed uint64
+
+	// DayRollAfter invokes DayRollFn once, this long into the measured
+	// (post-warmup) window, so the run straddles a snapshot swap; requests
+	// started before and after the roll completes are summarized
+	// separately in the Report, making the post-swap cold-cache spike
+	// (and a pre-warm's effect on it) directly visible (0 = no roll).
+	DayRollAfter time.Duration
+	// DayRollFn performs the mid-load day roll — typically the store's
+	// AdvanceDay. Required when DayRollAfter > 0.
+	DayRollFn func() error
 }
 
 // Request classes reported separately: metadata detail lookups vs APK
@@ -118,7 +129,9 @@ const (
 	ClassAPK    = "apk"
 )
 
-// classStats accumulates one request class.
+// classStats accumulates one request class. preRoll/postRoll split the
+// measured window at the day-roll instant (populated only when a roll is
+// configured; latency always carries the full window).
 type classStats struct {
 	requests    metrics.Counter
 	ok          metrics.Counter
@@ -127,6 +140,16 @@ type classStats struct {
 	otherStatus metrics.Counter
 	warmup      metrics.Counter
 	latency     *metrics.Histogram
+	preRoll     *metrics.Histogram
+	postRoll    *metrics.Histogram
+}
+
+func newClassStats() *classStats {
+	return &classStats{
+		latency:  metrics.NewHistogram(),
+		preRoll:  metrics.NewHistogram(),
+		postRoll: metrics.NewHistogram(),
+	}
 }
 
 // Generator replays a Source against a store. Create with New; a
@@ -144,6 +167,13 @@ type Generator struct {
 	classes   map[string]*classStats
 	startedAt time.Time
 	measureAt time.Time
+
+	// Day-roll bookkeeping: rollMark is the UnixNano instant DayRollFn
+	// completed (0 until then); rollDur/rollErr are written by the roll
+	// goroutine before the mark and read only after Run joins it.
+	rollMark atomic.Int64
+	rollDur  time.Duration
+	rollErr  error
 }
 
 // New validates cfg and returns a Generator.
@@ -168,6 +198,9 @@ func New(cfg Config) (*Generator, error) {
 	default:
 		return nil, fmt.Errorf("loadgen: unknown mode %v", cfg.Mode)
 	}
+	if cfg.DayRollAfter > 0 && cfg.DayRollFn == nil {
+		return nil, errors.New("loadgen: DayRollAfter requires DayRollFn")
+	}
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = 4096
 	}
@@ -185,8 +218,8 @@ func New(cfg Config) (*Generator, error) {
 		cfg:    cfg,
 		client: client,
 		classes: map[string]*classStats{
-			ClassDetail: {latency: metrics.NewHistogram()},
-			ClassAPK:    {latency: metrics.NewHistogram()},
+			ClassDetail: newClassStats(),
+			ClassAPK:    newClassStats(),
 		},
 	}
 	return g, nil
@@ -255,7 +288,18 @@ func (g *Generator) issue(ctx context.Context, class string, ev model.Event) {
 	if !record {
 		return
 	}
-	cs.latency.ObserveSince(start)
+	elapsed := time.Since(start)
+	cs.latency.Observe(int64(elapsed))
+	if g.cfg.DayRollAfter > 0 {
+		// Split on the request's start instant vs the roll's completion:
+		// a request launched after the swap finished faces the new
+		// snapshot's (possibly cold) response cache.
+		if mark := g.rollMark.Load(); mark > 0 && start.UnixNano() >= mark {
+			cs.postRoll.Observe(int64(elapsed))
+		} else {
+			cs.preRoll.Observe(int64(elapsed))
+		}
+	}
 	switch {
 	case resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusNotModified:
 		cs.ok.Inc()
@@ -282,15 +326,46 @@ func (g *Generator) Run(ctx context.Context, src Source) (*Report, error) {
 	g.src = src
 	g.startedAt = time.Now()
 	g.measureAt = g.startedAt.Add(g.cfg.Warmup)
+	rctx, cancelRoll := context.WithCancel(ctx)
+	var rollWG sync.WaitGroup
+	if g.cfg.DayRollAfter > 0 {
+		rollWG.Add(1)
+		go g.dayRoll(rctx, &rollWG)
+	}
 	switch g.cfg.Mode {
 	case OpenLoop:
 		g.runOpen(ctx)
 	case ClosedLoop:
 		g.runClosed(ctx)
 	}
+	cancelRoll()
+	rollWG.Wait()
 	elapsed := time.Since(g.startedAt)
 	rep := g.report(elapsed)
 	return rep, g.srcErr
+}
+
+// dayRoll fires DayRollFn once, DayRollAfter into the measured window,
+// and stamps the completion instant that issue() splits latencies on. If
+// the run ends first the roll simply never happens (Report says so).
+func (g *Generator) dayRoll(ctx context.Context, wg *sync.WaitGroup) {
+	defer wg.Done()
+	d := time.Until(g.measureAt.Add(g.cfg.DayRollAfter))
+	if d < 0 {
+		d = 0
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return
+	case <-t.C:
+	}
+	start := time.Now()
+	err := g.cfg.DayRollFn()
+	g.rollDur = time.Since(start)
+	g.rollErr = err
+	g.rollMark.Store(time.Now().UnixNano())
 }
 
 // runOpen launches requests on the stage schedule. A timer goroutine per

@@ -33,33 +33,51 @@ func summarize(s *metrics.HistogramSnapshot) LatencySummary {
 }
 
 // ClassReport aggregates one request class (detail lookups, APK
-// downloads) over the measured (post-warmup) window.
+// downloads) over the measured (post-warmup) window. PreRoll/PostRoll
+// split the window at the day-roll instant when the run was configured
+// with one, exposing the post-swap cold-cache latency separately.
 type ClassReport struct {
-	Class       string         `json:"class"`
-	Requests    int64          `json:"requests"`
-	OK          int64          `json:"ok"`
-	RateLimited int64          `json:"rate_limited"`
-	Errors      int64          `json:"errors"`
-	OtherStatus int64          `json:"other_status"`
-	LatencyMS   LatencySummary `json:"latency_ms"`
+	Class         string          `json:"class"`
+	Requests      int64           `json:"requests"`
+	OK            int64           `json:"ok"`
+	RateLimited   int64           `json:"rate_limited"`
+	Errors        int64           `json:"errors"`
+	OtherStatus   int64           `json:"other_status"`
+	LatencyMS     LatencySummary  `json:"latency_ms"`
+	PreRollMS     *LatencySummary `json:"pre_roll_latency_ms,omitempty"`
+	PostRollMS    *LatencySummary `json:"post_roll_latency_ms,omitempty"`
+	PreRollCount  int64           `json:"pre_roll_requests,omitempty"`
+	PostRollCount int64           `json:"post_roll_requests,omitempty"`
+}
+
+// DayRollReport records the mid-run AdvanceDay a day-roll scenario fired.
+type DayRollReport struct {
+	// Rolled is false when the run ended before the roll was due.
+	Rolled bool `json:"rolled"`
+	// AtSec is when the roll completed, relative to run start.
+	AtSec float64 `json:"at_sec"`
+	// RollMS is how long the AdvanceDay itself took.
+	RollMS float64 `json:"roll_ms"`
+	Error  string  `json:"error,omitempty"`
 }
 
 // Report is the JSON-serializable outcome of one Run. Counts cover the
 // measured window; WarmupRequests tallies what the warmup excluded.
 type Report struct {
-	Mode           string        `json:"mode"`
-	Events         int64         `json:"events"`
-	Requests       int64         `json:"requests"`
-	WarmupRequests int64         `json:"warmup_requests"`
-	OK             int64         `json:"ok"`
-	RateLimited    int64         `json:"rate_limited"`
-	Errors         int64         `json:"errors"`
-	OtherStatus    int64         `json:"other_status"`
-	Dropped        int64         `json:"dropped"`
-	DurationSec    float64       `json:"duration_sec"`
-	MeasuredSec    float64       `json:"measured_sec"`
-	ThroughputRPS  float64       `json:"throughput_rps"`
-	Classes        []ClassReport `json:"classes"`
+	Mode           string         `json:"mode"`
+	Events         int64          `json:"events"`
+	Requests       int64          `json:"requests"`
+	WarmupRequests int64          `json:"warmup_requests"`
+	OK             int64          `json:"ok"`
+	RateLimited    int64          `json:"rate_limited"`
+	Errors         int64          `json:"errors"`
+	OtherStatus    int64          `json:"other_status"`
+	Dropped        int64          `json:"dropped"`
+	DurationSec    float64        `json:"duration_sec"`
+	MeasuredSec    float64        `json:"measured_sec"`
+	ThroughputRPS  float64        `json:"throughput_rps"`
+	Classes        []ClassReport  `json:"classes"`
+	DayRoll        *DayRollReport `json:"day_roll,omitempty"`
 }
 
 func (g *Generator) report(elapsed time.Duration) *Report {
@@ -85,6 +103,16 @@ func (g *Generator) report(elapsed time.Duration) *Report {
 			OtherStatus: cs.otherStatus.Value(),
 			LatencyMS:   summarize(cs.latency.Snapshot()),
 		}
+		if g.cfg.DayRollAfter > 0 {
+			if pre := cs.preRoll.Snapshot(); pre.Count > 0 {
+				s := summarize(pre)
+				cr.PreRollMS, cr.PreRollCount = &s, pre.Count
+			}
+			if post := cs.postRoll.Snapshot(); post.Count > 0 {
+				s := summarize(post)
+				cr.PostRollMS, cr.PostRollCount = &s, post.Count
+			}
+		}
 		if cr.Requests == 0 && class == ClassAPK {
 			continue
 		}
@@ -98,6 +126,18 @@ func (g *Generator) report(elapsed time.Duration) *Report {
 	}
 	if rep.MeasuredSec > 0 {
 		rep.ThroughputRPS = float64(rep.Requests) / rep.MeasuredSec
+	}
+	if g.cfg.DayRollAfter > 0 {
+		dr := &DayRollReport{}
+		if mark := g.rollMark.Load(); mark > 0 {
+			dr.Rolled = true
+			dr.AtSec = float64(mark-g.startedAt.UnixNano()) / 1e9
+			dr.RollMS = float64(g.rollDur) / 1e6
+			if g.rollErr != nil {
+				dr.Error = g.rollErr.Error()
+			}
+		}
+		rep.DayRoll = dr
 	}
 	return rep
 }

@@ -1,0 +1,96 @@
+package marketsim
+
+import "planetapps/internal/rng"
+
+// cumIndex is a bucketed lower-bound hint over a cumulative weight table:
+// buckets[b] holds the lower bound of total*b/K, so a draw landing in
+// bucket b only needs to binary-search the few entries between two
+// consecutive hints instead of the whole table. It is purely an
+// accelerator — sampleCum validates the hinted bracket against the
+// current table before trusting it and falls back to the full range
+// otherwise, so every draw returns the exact index an unindexed search
+// would. That validation is also what lets rebuilds be amortized: the
+// free and per-category tables are append-only, so a slightly stale
+// index merely sends the few draws that land past its horizon (or in a
+// bucket the appended mass shifted) down the full-range path.
+type cumIndex struct {
+	buckets []int32 // buckets[b] = lower bound of total*b/K; buckets[K] = len-1
+	n       int     // table length at the last rebuild
+}
+
+const (
+	// cumIndexMinLen is the table size below which a plain binary search
+	// is already cache-resident and the index is not kept.
+	cumIndexMinLen = 512
+	// cumIndexShift targets ~16 table entries per bucket.
+	cumIndexShift = 4
+)
+
+// fresh reports whether the index is still worth consulting: rebuilt is
+// triggered once appended growth exceeds ~1.5% of the table, bounding
+// the fraction of draws that fall back to a full-range search.
+func (ix *cumIndex) fresh(cum []float64) bool {
+	return len(cum)-ix.n <= ix.n>>6
+}
+
+// rebuild recomputes the bucket hints with one linear sweep of the table.
+func (ix *cumIndex) rebuild(cum []float64) {
+	n := len(cum)
+	ix.n = n
+	if n < cumIndexMinLen {
+		ix.buckets = ix.buckets[:0]
+		return
+	}
+	k := 1
+	for k < n>>cumIndexShift {
+		k <<= 1
+	}
+	if cap(ix.buckets) < k+1 {
+		ix.buckets = make([]int32, k+1)
+	}
+	ix.buckets = ix.buckets[:k+1]
+	total := cum[n-1]
+	i := 0
+	for b := 0; b < k; b++ {
+		t := total * float64(b) / float64(k)
+		for i < n-1 && cum[i] <= t {
+			i++
+		}
+		ix.buckets[b] = int32(i)
+	}
+	ix.buckets[k] = int32(n - 1)
+}
+
+// sampleCum draws an index from a cumulative weight table, consuming
+// exactly one uniform variate. ix narrows the binary search (nil for
+// unindexed tables); the result is identical with or without it.
+func sampleCum(r *rng.RNG, cum []float64, ix *cumIndex) int {
+	if len(cum) == 0 {
+		return -1
+	}
+	f := r.Float64()
+	u := f * cum[len(cum)-1]
+	lo, hi := 0, len(cum)-1
+	if ix != nil && len(ix.buckets) > 1 {
+		k := len(ix.buckets) - 1
+		b := int(f * float64(k))
+		if b >= k {
+			b = k - 1
+		}
+		l, h := int(ix.buckets[b]), int(ix.buckets[b+1])
+		// Use the hint only if it provably brackets the lower bound of u
+		// in the *current* table; the full range stays correct otherwise.
+		if h < len(cum) && (l == 0 || cum[l-1] <= u) && cum[h] > u {
+			lo, hi = l, h
+		}
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] <= u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -14,6 +14,14 @@
 //     price-discounted Zipf with fetch-at-most-once and no clustering —
 //     yielding the pure power law of Figure 11(b) and the negative
 //     price-popularity correlation of Figure 12.
+//
+// Day-over-day the catalog barely changes relative to its size (the same
+// observation Potharaju et al. make about production stores), so the
+// market additionally maintains an observation-only dirty set: per-app
+// row versions and per-chunk version stamps that let Export share
+// unchanged state between consecutive days (see export.go). The dirty
+// tracking never feeds back into the simulation — output for a fixed
+// seed is byte-identical with tracking observed or ignored.
 package marketsim
 
 import (
@@ -57,6 +65,17 @@ type Config struct {
 	// mass-produce apps (the 1,402-app e-book publisher) ship individually
 	// unpopular ones.
 	ShovelwareDamping float64
+	// DisableSeries skips the per-day snapshot.Series accumulation — an
+	// O(apps) copy per Step that only analysis consumers need. Serving
+	// deployments (appstored) that never read the series should set it.
+	// The simulation itself is unaffected: downloads, catalog state, and
+	// RNG consumption are identical either way.
+	DisableSeries bool
+	// FullExport disables cross-export chunk sharing: every Export is a
+	// fully materialized deep copy, as before the incremental day-roll.
+	// Used by determinism tests and as an escape hatch; the default
+	// (false) shares unchanged chunks between consecutive exports.
+	FullExport bool
 }
 
 // DefaultConfig returns a calibrated configuration for the profile.
@@ -82,6 +101,7 @@ type Market struct {
 
 	day       int
 	downloads []int64 // per-app cumulative
+	total     int64   // sum of downloads, maintained incrementally
 	appeal    []float64
 	// catBias reshapes within-category concentration: category tables use
 	// appeal^catBias, so the within-category rank distribution follows the
@@ -89,16 +109,70 @@ type Market struct {
 	// gives measured curves their two-scale (global vs cluster) structure.
 	catBias float64
 
-	// Free-stream sampling tables, rebuilt after daily arrivals.
-	freeCum    []float64
-	freeApps   []catalog.AppID
-	catCum     [][]float64
-	catApps    [][]catalog.AppID
-	paidCum    []float64
-	paidApps   []catalog.AppID
-	tablesDay  int
-	usersFree  map[int32]*userState
+	// Hot per-app side arrays. updatesAndPrices walks every app every day;
+	// reading 8-byte entries sequentially instead of striding through
+	// 64-byte catalog rows keeps that walk in cache. Both mirror fields
+	// that are immutable after an app is created.
+	updateRate []float64
+	isPaid     []bool
+
+	// Free-stream sampling tables. Appeal weights are immutable after
+	// creation and arrivals get strictly increasing IDs, so the free and
+	// per-category tables are append-only: extending them reproduces the
+	// exact float accumulation order of a from-scratch rebuild.
+	freeCum  []float64
+	freeApps []catalog.AppID
+	catCum   [][]float64
+	catApps  [][]catalog.AppID
+
+	// Paid-stream table. Paid weights do change (price drift, portfolio
+	// growth), so the cumulative sums are re-accumulated from the lowest
+	// dirty index each day — bit-identical to a full rebuild because the
+	// prefix before that index is the same fold of the same weights.
+	paidCum       []float64
+	paidApps      []catalog.AppID
+	paidW         []float64 // cached per-entry weight
+	paidIdx       []int32   // app index -> paid table index, -1 if free
+	paidDirty     []int32   // paid table indexes needing weight recompute
+	paidPortfolio map[catalog.DevID]int
+	devPaid       map[catalog.DevID][]int32 // dev -> paid table indexes (ShovelwareDamping > 0 only)
+	tableN        int                       // apps incorporated into the tables so far
+
+	// Draw-acceleration indexes over the append-only sampling tables
+	// (cumindex.go). Observation-only for the RNG stream and the draw
+	// results: sampleCum validates a hint before using it.
+	freeCumIdx cumIndex
+	catCumIdx  []cumIndex
+
+	// Observation-only dirty tracking (see package comment). rowVer bumps
+	// at most once per day on an app's first serving-visible change (row
+	// fields or download count); chunkVer is the chunk-granular
+	// counterpart. rowChunkDay / dlChunkDay stamp which chunks had
+	// catalog-row / download-vector writes, steering Export's chunk
+	// sharing.
+	rowVer      []uint32
+	dirtyDay    []int32
+	chunkVer    []uint64
+	chunkVerDay []int32
+	rowChunkDay []int32
+	dlChunkDay  []int32
+
+	// Export sharing state (export.go).
+	lastExport    *Export
+	lastExportDay int
+	catNames      []string
+	devNames      []string
+
+	// Free users are dense (ids 0..Users-1), so a flat slice replaces the
+	// map; history slices are carved from a bump-pointer arena at exactly
+	// the user's download budget, so steady-state simulation performs no
+	// per-event allocation.
+	freeUsers  []userState
+	freeBudget []int32
+	hist       arena
 	usersPaid  map[int32]*userState
+	paidSlab   []userState
+
 	series     *snapshot.Series
 	dailyPaid  float64
 	paidVolume bool
@@ -112,22 +186,65 @@ type Market struct {
 	totalPeriods int
 }
 
+// ownedThreshold is the history length past which a user gets a hash set
+// for ownership checks. Below it a backward scan of the (small) history
+// answers has() faster than a map ever would and costs no allocation;
+// membership answers are identical either way.
+const ownedThreshold = 64
+
 type userState struct {
-	owned   map[catalog.AppID]struct{}
+	owned   map[catalog.AppID]struct{} // nil until history outgrows ownedThreshold
 	history []catalog.AppID
 }
 
 func (u *userState) has(a catalog.AppID) bool {
-	_, ok := u.owned[a]
-	return ok
+	if u.owned != nil {
+		_, ok := u.owned[a]
+		return ok
+	}
+	// Recent downloads are the likeliest collision (clustering re-draws
+	// from the same categories), so scan backwards.
+	for i := len(u.history) - 1; i >= 0; i-- {
+		if u.history[i] == a {
+			return true
+		}
+	}
+	return false
 }
 
 func (u *userState) record(a catalog.AppID) {
-	if u.owned == nil {
-		u.owned = make(map[catalog.AppID]struct{}, 8)
-	}
-	u.owned[a] = struct{}{}
 	u.history = append(u.history, a)
+	if u.owned != nil {
+		u.owned[a] = struct{}{}
+	} else if len(u.history) >= ownedThreshold {
+		u.owned = make(map[catalog.AppID]struct{}, 2*len(u.history))
+		for _, x := range u.history {
+			u.owned[x] = struct{}{}
+		}
+	}
+}
+
+// arena hands out history slices from large blocks. Blocks are never
+// freed individually — the market's lifetime bounds them — so a carve is
+// a bump-pointer move, not an allocation.
+type arena struct {
+	block []catalog.AppID
+}
+
+const arenaBlock = 1 << 16
+
+// carve returns a zero-length slice with capacity n backed by the arena.
+func (ar *arena) carve(n int) []catalog.AppID {
+	if cap(ar.block)-len(ar.block) < n {
+		size := arenaBlock
+		if n > size {
+			size = n
+		}
+		ar.block = make([]catalog.AppID, 0, size)
+	}
+	off := len(ar.block)
+	ar.block = ar.block[:off+n]
+	return ar.block[off : off : off+n]
 }
 
 // New builds a market over a freshly generated catalog. Deterministic in
@@ -145,30 +262,38 @@ func New(cfg Config, seed uint64) (*Market, error) {
 	}
 	r := rng.New(seed).Split(0x6d61726b6574) // "market"
 	m := &Market{
-		cfg:       cfg,
-		cat:       cat,
-		r:         r,
-		tablesDay: -1,
-		usersFree: map[int32]*userState{},
-		usersPaid: map[int32]*userState{},
-		series:    &snapshot.Series{Store: cfg.Profile.Name},
+		cfg:           cfg,
+		cat:           cat,
+		r:             r,
+		usersPaid:     map[int32]*userState{},
+		paidPortfolio: map[catalog.DevID]int{},
+		series:        &snapshot.Series{Store: cfg.Profile.Name},
+		lastExportDay: -1,
 	}
-	m.downloads = make([]int64, cat.NumApps())
-	m.appeal = make([]float64, 0, cat.NumApps())
-	for i := 0; i < cat.NumApps(); i++ {
+	if cfg.ShovelwareDamping > 0 {
+		m.devPaid = map[catalog.DevID][]int32{}
+	}
+	n := cat.NumApps()
+	m.downloads = make([]int64, n)
+	m.appeal = make([]float64, 0, n)
+	for i := 0; i < n; i++ {
 		m.appeal = append(m.appeal, m.newAppeal(cat.Apps[i].Dev))
 	}
+	m.initTracking()
 	// Per-user budgets: floor(d) plus one with probability frac(d), the
 	// same convention the model package uses. The flattened, shuffled
 	// schedule interleaves users across the whole period.
 	m.totalPeriods = cfg.Days + cfg.WarmupDays
 	d := cfg.Profile.DownloadsPerUser
+	m.freeUsers = make([]userState, cfg.Profile.Users)
+	m.freeBudget = make([]int32, cfg.Profile.Users)
 	for u := 0; u < cfg.Profile.Users; u++ {
-		n := int(d)
-		if m.r.Bool(d - float64(n)) {
-			n++
+		k := int(d)
+		if m.r.Bool(d - float64(k)) {
+			k++
 		}
-		for k := 0; k < n; k++ {
+		m.freeBudget[u] = int32(k)
+		for j := 0; j < k; j++ {
 			m.schedule = append(m.schedule, int32(u))
 		}
 	}
@@ -188,10 +313,111 @@ func New(cfg Config, seed uint64) (*Market, error) {
 	// like a mature store, then record day 0. simulateDownloads consumes
 	// the schedule up through the current day, which at this point covers
 	// all warmup days plus day 0 — so first-day curves are never all-zero.
-	m.rebuildTables()
+	m.syncTables()
 	m.simulateDownloads()
-	m.record()
+	if !m.cfg.DisableSeries {
+		m.record()
+	}
 	return m, nil
+}
+
+// initTracking sizes the side arrays and dirty-tracking state for the
+// generated catalog. Draws no randomness.
+func (m *Market) initTracking() {
+	n := m.cat.NumApps()
+	m.updateRate = make([]float64, n)
+	m.isPaid = make([]bool, n)
+	m.paidIdx = make([]int32, n)
+	for i := 0; i < n; i++ {
+		a := &m.cat.Apps[i]
+		m.updateRate[i] = a.UpdateRate
+		m.isPaid[i] = a.Pricing == catalog.Paid
+		m.paidIdx[i] = -1
+	}
+	m.rowVer = make([]uint32, n)
+	m.dirtyDay = make([]int32, n)
+	for i := range m.dirtyDay {
+		m.dirtyDay[i] = -1
+	}
+	nc := numChunks(n)
+	m.chunkVer = make([]uint64, nc)
+	m.chunkVerDay = make([]int32, nc)
+	m.dlChunkDay = make([]int32, nc)
+	for c := 0; c < nc; c++ {
+		m.chunkVerDay[c] = -1
+		m.dlChunkDay[c] = -1
+	}
+	m.rowChunkDay = make([]int32, numAppChunks(n))
+	for c := range m.rowChunkDay {
+		m.rowChunkDay[c] = -1
+	}
+	m.catNames = make([]string, len(m.cat.Categories))
+	for i := range m.cat.Categories {
+		m.catNames[i] = m.cat.Categories[i].Name
+	}
+	m.devNames = make([]string, 0, len(m.cat.Developers)+len(m.cat.Developers)/8+16)
+	m.syncDevNames()
+}
+
+// syncDevNames extends the developer name table to cover arrivals. The
+// backing array is shared with prior exports: entries below their length
+// are never rewritten, so appending (even in place) cannot be observed by
+// a holder of an older, shorter header.
+func (m *Market) syncDevNames() []string {
+	for i := len(m.devNames); i < len(m.cat.Developers); i++ {
+		m.devNames = append(m.devNames, m.cat.Developers[i].Name)
+	}
+	return m.devNames
+}
+
+// touchRow registers a serving-visible change to app i today: its row
+// version and its chunk's version each bump at most once per day.
+func (m *Market) touchRow(i int) {
+	d := int32(m.day)
+	if m.dirtyDay[i] != d {
+		m.dirtyDay[i] = d
+		m.rowVer[i]++
+	}
+	c := i >> chunkShift
+	if m.chunkVerDay[c] != d {
+		m.chunkVerDay[c] = d
+		m.chunkVer[c]++
+	}
+}
+
+// markRow records a catalog-row mutation (new app, update, price change).
+// Row writes stamp the finer apps-family chunk (see appChunkShift).
+func (m *Market) markRow(i int) {
+	m.touchRow(i)
+	if c := i >> appChunkShift; m.rowChunkDay[c] != int32(m.day) {
+		m.rowChunkDay[c] = int32(m.day)
+	}
+}
+
+// markDL records a download-count mutation.
+func (m *Market) markDL(i int) {
+	m.touchRow(i)
+	if c := i >> chunkShift; m.dlChunkDay[c] != int32(m.day) {
+		m.dlChunkDay[c] = int32(m.day)
+	}
+}
+
+// growTracking extends per-app and per-chunk tracking state to cover a
+// newly added app (id == len-1 after the catalog append).
+func (m *Market) growTracking(a *catalog.App) {
+	m.updateRate = append(m.updateRate, a.UpdateRate)
+	m.isPaid = append(m.isPaid, a.Pricing == catalog.Paid)
+	m.paidIdx = append(m.paidIdx, -1)
+	m.rowVer = append(m.rowVer, 0)
+	m.dirtyDay = append(m.dirtyDay, -1)
+	for nc := numChunks(m.cat.NumApps()); len(m.chunkVer) < nc; {
+		m.chunkVer = append(m.chunkVer, 0)
+		m.chunkVerDay = append(m.chunkVerDay, -1)
+		m.dlChunkDay = append(m.dlChunkDay, -1)
+	}
+	for nca := numAppChunks(m.cat.NumApps()); len(m.rowChunkDay) < nca; {
+		m.rowChunkDay = append(m.rowChunkDay, -1)
+	}
 }
 
 // newAppeal draws an app's intrinsic appeal weight. Pareto-tailed appeal
@@ -219,54 +445,13 @@ func (m *Market) Catalog() *catalog.Catalog { return m.cat }
 // Day returns the current day index (number of completed days - 1).
 func (m *Market) Day() int { return m.day }
 
-// Series returns the snapshot series accumulated so far.
+// Series returns the snapshot series accumulated so far (empty when the
+// market runs with DisableSeries).
 func (m *Market) Series() *snapshot.Series { return m.series }
 
 // Downloads returns the live per-app cumulative download counts (shared
 // slice; callers must not modify).
 func (m *Market) Downloads() []int64 { return m.downloads }
-
-// Export is an immutable copy of the market state a serving layer needs:
-// the day index, per-app catalog rows, per-app cumulative downloads, and
-// the category/developer name tables. It shares nothing mutable with the
-// live market, so holders may read it indefinitely while the market steps.
-type Export struct {
-	Store          string
-	Day            int
-	Apps           []catalog.App
-	CategoryNames  []string
-	DeveloperNames []string
-	Downloads      []int64
-	TotalDownloads int64
-}
-
-// Export snapshots the serving-relevant state. The copy is O(apps) value
-// copies — catalog.App carries no pointers — which is cheap next to a day
-// of simulation, so callers can take one per Step (copy-on-write cadence:
-// the market mutates its own state freely between exports). Export must
-// not run concurrently with Step; the returned value is then safe to share
-// across goroutines.
-func (m *Market) Export() Export {
-	n := m.cat.NumApps()
-	e := Export{
-		Store:          m.cat.Name,
-		Day:            m.day,
-		Apps:           append([]catalog.App(nil), m.cat.Apps[:n]...),
-		Downloads:      append([]int64(nil), m.downloads[:n]...),
-		CategoryNames:  make([]string, len(m.cat.Categories)),
-		DeveloperNames: make([]string, len(m.cat.Developers)),
-	}
-	for i := range m.cat.Categories {
-		e.CategoryNames[i] = m.cat.Categories[i].Name
-	}
-	for i := range m.cat.Developers {
-		e.DeveloperNames[i] = m.cat.Developers[i].Name
-	}
-	for _, d := range e.Downloads {
-		e.TotalDownloads += d
-	}
-	return e
-}
 
 // Run advances the market to the configured number of days and returns the
 // snapshot series.
@@ -288,9 +473,11 @@ func (m *Market) Step() error {
 	m.day++
 	m.arrivals()
 	m.updatesAndPrices()
-	m.rebuildTables()
+	m.syncTables()
 	m.simulateDownloads()
-	m.record()
+	if !m.cfg.DisableSeries {
+		m.record()
+	}
 	return nil
 }
 
@@ -333,17 +520,20 @@ func (m *Market) arrivals() {
 		// unpopular; breakout hits are possible but rare.
 		m.appeal = append(m.appeal, m.newAppeal(m.cat.Apps[int(id)].Dev)*0.25)
 		m.downloads = append(m.downloads, 0)
+		m.growTracking(&m.cat.Apps[int(id)])
+		m.markRow(int(id))
 	}
 }
 
 // updatesAndPrices ships version updates and drifts paid prices.
 func (m *Market) updatesAndPrices() {
-	for i := range m.cat.Apps {
-		a := &m.cat.Apps[i]
-		if m.r.Bool(a.UpdateRate) {
-			a.Versions++
+	for i := range m.updateRate {
+		if m.r.Bool(m.updateRate[i]) {
+			m.cat.Apps[i].Versions++
+			m.markRow(i)
 		}
-		if a.Pricing == catalog.Paid && m.r.Bool(m.cfg.PriceChangeP) {
+		if m.isPaid[i] && m.r.Bool(m.cfg.PriceChangeP) {
+			a := &m.cat.Apps[i]
 			factor := 0.8 + 0.4*m.r.Float64()
 			p := a.Price * factor
 			if p < 0.5 {
@@ -353,91 +543,127 @@ func (m *Market) updatesAndPrices() {
 				p = 50
 			}
 			a.Price = float64(int(p*100+0.5)) / 100
+			m.markRow(i)
+			if j := m.paidIdx[i]; j >= 0 {
+				m.paidDirty = append(m.paidDirty, j)
+			}
+			// paidIdx < 0 means the app arrived today and is not yet in
+			// the paid table; syncTables computes its weight from the
+			// already-drifted price, exactly as a full rebuild would.
 		}
 	}
 }
 
-// rebuildTables refreshes the cumulative-weight sampling tables after the
-// catalog changed.
-func (m *Market) rebuildTables() {
-	if m.tablesDay == m.day {
-		return
+// paidWeight computes the effective sampling weight of paid-table entry
+// j from current state (price, developer portfolio). Pure: same inputs,
+// bit-identical output — the invariant the incremental table relies on.
+func (m *Market) paidWeight(j int32) float64 {
+	i := int(m.paidApps[j])
+	a := &m.cat.Apps[i]
+	w := m.appeal[i]
+	// Paying users are more selective (steeper concentration) and
+	// price-sensitive.
+	if m.cfg.PaidSelectivity > 0 && m.cfg.PaidSelectivity != 1 {
+		w = math.Pow(w, m.cfg.PaidSelectivity)
 	}
-	m.tablesDay = m.day
-	m.freeCum = m.freeCum[:0]
-	m.freeApps = m.freeApps[:0]
-	m.paidCum = m.paidCum[:0]
-	m.paidApps = m.paidApps[:0]
-	if m.catCum == nil {
-		m.catCum = make([][]float64, len(m.cat.Categories))
-		m.catApps = make([][]catalog.AppID, len(m.cat.Categories))
-	}
-	for c := range m.catCum {
-		m.catCum[c] = m.catCum[c][:0]
-		m.catApps[c] = m.catApps[c][:0]
-	}
-	// Per-developer paid portfolio sizes for shovelware damping: accounts
-	// that mass-produce paid apps ship individually unpopular ones, which
-	// keeps income uncorrelated with portfolio size (Figure 14).
-	paidPortfolio := make(map[catalog.DevID]int)
+	w /= math.Pow(1+a.Price, m.cfg.PriceElasticity)
 	if m.cfg.ShovelwareDamping > 0 {
-		for i := range m.cat.Apps {
-			if m.cat.Apps[i].Pricing == catalog.Paid {
-				paidPortfolio[m.cat.Apps[i].Dev]++
-			}
+		if n := m.paidPortfolio[a.Dev]; n > 1 {
+			w /= math.Pow(float64(n), m.cfg.ShovelwareDamping)
 		}
 	}
-	var freeSum float64
-	paidSum := 0.0
-	catSums := make([]float64, len(m.cat.Categories))
-	for i := range m.cat.Apps {
+	return w
+}
+
+// syncTables brings the sampling tables up to date with the catalog:
+// appends arrivals to the append-only free/category tables and patches
+// the paid table from its lowest dirty index. Replaces the former full
+// per-day rebuild with work proportional to the day's changes while
+// producing bit-identical tables (see the field comments on Market).
+func (m *Market) syncTables() {
+	n := m.cat.NumApps()
+	for i := m.tableN; i < n; i++ {
 		a := &m.cat.Apps[i]
 		w := m.appeal[i]
 		if a.Pricing == catalog.Paid {
-			// Paying users are more selective (steeper concentration) and
-			// price-sensitive.
-			if m.cfg.PaidSelectivity > 0 && m.cfg.PaidSelectivity != 1 {
-				w = math.Pow(w, m.cfg.PaidSelectivity)
+			m.paidPortfolio[a.Dev]++
+			j := int32(len(m.paidApps))
+			if m.cfg.ShovelwareDamping > 0 {
+				// The portfolio grew: every existing paid app of this
+				// developer is damped harder now.
+				if m.paidPortfolio[a.Dev] > 1 {
+					m.paidDirty = append(m.paidDirty, m.devPaid[a.Dev]...)
+				}
+				m.devPaid[a.Dev] = append(m.devPaid[a.Dev], j)
 			}
-			w /= math.Pow(1+a.Price, m.cfg.PriceElasticity)
-			if n := paidPortfolio[a.Dev]; n > 1 {
-				w /= math.Pow(float64(n), m.cfg.ShovelwareDamping)
-			}
-			paidSum += w
-			m.paidCum = append(m.paidCum, paidSum)
 			m.paidApps = append(m.paidApps, a.ID)
+			m.paidW = append(m.paidW, 0)
+			m.paidCum = append(m.paidCum, 0)
+			m.paidIdx[i] = j
+			m.paidDirty = append(m.paidDirty, j)
 			continue
 		}
-		freeSum += w
-		m.freeCum = append(m.freeCum, freeSum)
+		var freeSum float64
+		if k := len(m.freeCum); k > 0 {
+			freeSum = m.freeCum[k-1]
+		}
+		m.freeCum = append(m.freeCum, freeSum+w)
 		m.freeApps = append(m.freeApps, a.ID)
+		if m.catCum == nil {
+			m.catCum = make([][]float64, len(m.cat.Categories))
+			m.catApps = make([][]catalog.AppID, len(m.cat.Categories))
+		}
 		c := int(a.Category)
 		cw := w
 		if m.catBias != 1 {
 			cw = math.Pow(w, m.catBias)
 		}
-		catSums[c] += cw
-		m.catCum[c] = append(m.catCum[c], catSums[c])
+		var catSum float64
+		if k := len(m.catCum[c]); k > 0 {
+			catSum = m.catCum[c][k-1]
+		}
+		m.catCum[c] = append(m.catCum[c], catSum+cw)
 		m.catApps[c] = append(m.catApps[c], a.ID)
 	}
-}
-
-// sampleCum draws an index from a cumulative weight table.
-func sampleCum(r *rng.RNG, cum []float64) int {
-	if len(cum) == 0 {
-		return -1
+	m.tableN = n
+	// Refresh the stale draw-acceleration hints. Amortized: fresh()
+	// tolerates a bounded amount of appended growth, so most days skip
+	// the sweeps entirely.
+	if !m.freeCumIdx.fresh(m.freeCum) {
+		m.freeCumIdx.rebuild(m.freeCum)
 	}
-	u := r.Float64() * cum[len(cum)-1]
-	lo, hi := 0, len(cum)-1
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if cum[mid] <= u {
-			lo = mid + 1
-		} else {
-			hi = mid
+	if m.catCumIdx == nil && m.catCum != nil {
+		m.catCumIdx = make([]cumIndex, len(m.catCum))
+	}
+	for c := range m.catCumIdx {
+		if !m.catCumIdx[c].fresh(m.catCum[c]) {
+			m.catCumIdx[c].rebuild(m.catCum[c])
 		}
 	}
-	return lo
+	if len(m.paidDirty) == 0 {
+		return
+	}
+	lo := m.paidDirty[0]
+	for _, j := range m.paidDirty[1:] {
+		if j < lo {
+			lo = j
+		}
+	}
+	for _, j := range m.paidDirty {
+		m.paidW[j] = m.paidWeight(j)
+	}
+	// Re-accumulate the cumulative sums from the lowest patched entry.
+	// The stored prefix below lo is the same left-to-right fold a full
+	// rebuild would produce, so continuing from it is bit-identical.
+	var sum float64
+	if lo > 0 {
+		sum = m.paidCum[lo-1]
+	}
+	for j := int(lo); j < len(m.paidW); j++ {
+		sum += m.paidW[j]
+		m.paidCum[j] = sum
+	}
+	m.paidDirty = m.paidDirty[:0]
 }
 
 const maxRetries = 48
@@ -449,7 +675,7 @@ func (m *Market) drawFree(u *userState) (catalog.AppID, bool) {
 		for try := 0; try < maxRetries; try++ {
 			prev := u.history[m.r.Intn(len(u.history))]
 			c := int(m.cat.CategoryOf(prev))
-			idx := sampleCum(m.r, m.catCum[c])
+			idx := sampleCum(m.r, m.catCum[c], &m.catCumIdx[c])
 			if idx < 0 {
 				break
 			}
@@ -462,7 +688,7 @@ func (m *Market) drawFree(u *userState) (catalog.AppID, bool) {
 		// saturated.
 	}
 	for try := 0; try < maxRetries; try++ {
-		idx := sampleCum(m.r, m.freeCum)
+		idx := sampleCum(m.r, m.freeCum, &m.freeCumIdx)
 		if idx < 0 {
 			return 0, false
 		}
@@ -477,7 +703,7 @@ func (m *Market) drawFree(u *userState) (catalog.AppID, bool) {
 // drawPaid performs one selective paid-stream download.
 func (m *Market) drawPaid(u *userState) (catalog.AppID, bool) {
 	for try := 0; try < maxRetries; try++ {
-		idx := sampleCum(m.r, m.paidCum)
+		idx := sampleCum(m.r, m.paidCum, nil)
 		if idx < 0 {
 			return 0, false
 		}
@@ -487,6 +713,22 @@ func (m *Market) drawPaid(u *userState) (catalog.AppID, bool) {
 		}
 	}
 	return 0, false
+}
+
+// paidUser returns (creating on first use) the paid-stream state for a
+// user id. States are slab-allocated: paid users are few but arrive
+// steadily, and one allocation per slab beats one per user.
+func (m *Market) paidUser(uid int32) *userState {
+	u := m.usersPaid[uid]
+	if u == nil {
+		if len(m.paidSlab) == cap(m.paidSlab) {
+			m.paidSlab = make([]userState, 0, 128)
+		}
+		m.paidSlab = append(m.paidSlab, userState{})
+		u = &m.paidSlab[len(m.paidSlab)-1]
+		m.usersPaid[uid] = u
+	}
+	return u
 }
 
 // simulateDownloads generates the day's download events by consuming the
@@ -501,14 +743,15 @@ func (m *Market) simulateDownloads() {
 	}
 	for ; m.nextEvent < hi; m.nextEvent++ {
 		uid := m.schedule[m.nextEvent]
-		u := m.usersFree[uid]
-		if u == nil {
-			u = &userState{}
-			m.usersFree[uid] = u
+		u := &m.freeUsers[uid]
+		if u.history == nil {
+			u.history = m.hist.carve(int(m.freeBudget[uid]))
 		}
 		if app, ok := m.drawFree(u); ok {
 			u.record(app)
 			m.downloads[int(app)]++
+			m.total++
+			m.markDL(int(app))
 		}
 	}
 	if !m.paidVolume {
@@ -523,14 +766,12 @@ func (m *Market) simulateDownloads() {
 	nPaid := m.r.Poisson(m.dailyPaid * float64(daysCovered))
 	for k := 0; k < nPaid; k++ {
 		uid := int32(m.r.Intn(m.cfg.Profile.Users))
-		u := m.usersPaid[uid]
-		if u == nil {
-			u = &userState{}
-			m.usersPaid[uid] = u
-		}
+		u := m.paidUser(uid)
 		if app, ok := m.drawPaid(u); ok {
 			u.record(app)
 			m.downloads[int(app)]++
+			m.total++
+			m.markDL(int(app))
 		}
 	}
 }

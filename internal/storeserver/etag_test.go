@@ -1,0 +1,215 @@
+package storeserver
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"planetapps/internal/catalog"
+	"planetapps/internal/marketsim"
+)
+
+func etagTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	mcfg := marketsim.DefaultConfig(catalog.Profiles["slideme"].Scale(0.2))
+	mcfg.Days = 8
+	m, err := marketsim.New(mcfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(m, cfg)
+}
+
+func doGet(t *testing.T, h http.Handler, path, ifNoneMatch string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestETagStableAcrossDays is the crawler-facing contract of the
+// incremental day-roll: an app whose content did not change between days
+// keeps its ETag, so a conditional re-crawl earns a true 304 across the
+// snapshot swap; a changed app gets a fresh ETag and a 200.
+func TestETagStableAcrossDays(t *testing.T) {
+	s := etagTestServer(t, Config{PageSize: 50})
+	h := s.Handler()
+
+	before := s.snap.Load()
+	if err := s.AdvanceDay(); err != nil {
+		t.Fatal(err)
+	}
+	after := s.snap.Load()
+
+	// Classify apps by whether the day changed them.
+	same, changed := -1, -1
+	for i := 0; i < before.n && i < after.n; i++ {
+		if before.ex.RowVer(i) == after.ex.RowVer(i) {
+			if same < 0 {
+				same = i
+			}
+		} else if changed < 0 {
+			changed = i
+		}
+		if same >= 0 && changed >= 0 {
+			break
+		}
+	}
+	if same < 0 || changed < 0 {
+		t.Fatalf("need both an unchanged and a changed app (same=%d changed=%d)", same, changed)
+	}
+
+	// Unchanged app: the ETag a day-0 crawl captured revalidates today.
+	pathSame := "/api/apps/" + strconv.Itoa(same)
+	etag := beforeETag(t, before, same)
+	rec := doGet(t, h, pathSame, etag)
+	if rec.Code != http.StatusNotModified {
+		t.Fatalf("unchanged app %d: If-None-Match %s got %d, want 304", same, etag, rec.Code)
+	}
+	if got := rec.Header().Get("ETag"); got != etag {
+		t.Fatalf("unchanged app %d: ETag drifted %s -> %s across the day roll", same, etag, got)
+	}
+
+	// Changed app: the stale ETag must NOT revalidate.
+	pathChanged := "/api/apps/" + strconv.Itoa(changed)
+	stale := beforeETag(t, before, changed)
+	rec = doGet(t, h, pathChanged, stale)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("changed app %d: stale ETag got %d, want 200", changed, rec.Code)
+	}
+	if got := rec.Header().Get("ETag"); got == stale {
+		t.Fatalf("changed app %d: ETag %s did not change with content", changed, got)
+	}
+}
+
+func beforeETag(t *testing.T, sn *snapshot, i int) string {
+	t.Helper()
+	_, etag, _ := sn.detailDoc(i)
+	if etag == "" || !strings.HasPrefix(etag, `"`) {
+		t.Fatalf("app %d: bad etag %q", i, etag)
+	}
+	return etag
+}
+
+// TestCarriedDocsShareEncoding verifies the cross-snapshot reuse itself:
+// a document the predecessor already encoded is carried pointer-for-
+// pointer, so the new snapshot serves the predecessor's bytes without
+// re-encoding.
+func TestCarriedDocsShareEncoding(t *testing.T) {
+	s := etagTestServer(t, Config{PageSize: 50})
+	before := s.snap.Load()
+
+	// Force-encode every detail document on day 0.
+	for i := 0; i < before.n; i++ {
+		before.detailDoc(i)
+	}
+	if err := s.AdvanceDay(); err != nil {
+		t.Fatal(err)
+	}
+	after := s.snap.Load()
+
+	carried, fresh := 0, 0
+	for i := 0; i < before.n && i < after.n; i++ {
+		if before.ex.RowVer(i) != after.ex.RowVer(i) {
+			fresh++
+			if after.detail.docAt(i) == before.detail.docAt(i) {
+				t.Fatalf("changed app %d: stale document carried across the roll", i)
+			}
+			continue
+		}
+		carried++
+		if after.detail.docAt(i) != before.detail.docAt(i) {
+			t.Fatalf("unchanged app %d: document re-allocated instead of carried", i)
+		}
+		// Carried means the day-0 encoding (and its fill) is reused: the
+		// doc serves without re-running encode.
+		b0, e0, _ := before.detailDoc(i)
+		b1, e1, _ := after.detailDoc(i)
+		if e0 != e1 || &b0[0] != &b1[0] {
+			t.Fatalf("unchanged app %d: carried doc differs (etag %s vs %s)", i, e0, e1)
+		}
+	}
+	if carried == 0 {
+		t.Fatal("no documents carried — delta snapshot not engaging")
+	}
+	if after.carried == 0 || after.reencoded == 0 {
+		t.Fatalf("build accounting empty: carried=%d reencoded=%d", after.carried, after.reencoded)
+	}
+	t.Logf("day roll carried %d detail docs, re-encoded %d", carried, fresh)
+
+	// Comments (no comment set: generation unchanged) carry wholesale.
+	for i := 0; i < before.n && i < after.n; i++ {
+		if after.comDocs.docAt(i) != before.comDocs.docAt(i) {
+			t.Fatalf("comments doc %d re-allocated despite unchanged generation", i)
+		}
+	}
+}
+
+// TestListingETagAcrossDays: a listing page spanning only untouched
+// chunks revalidates across days; any page revalidating must serve
+// identical bytes.
+func TestListingETagAcrossDays(t *testing.T) {
+	s := etagTestServer(t, Config{PageSize: 50})
+	h := s.Handler()
+	before := s.snap.Load()
+	etags := make([]string, before.pages)
+	bodies := make([][]byte, before.pages)
+	for p := 0; p < before.pages; p++ {
+		rec := doGet(t, h, "/api/apps?page="+strconv.Itoa(p), "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("page %d: %d", p, rec.Code)
+		}
+		etags[p] = rec.Header().Get("ETag")
+		bodies[p] = rec.Body.Bytes()
+	}
+	if err := s.AdvanceDay(); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < before.pages; p++ {
+		rec := doGet(t, h, "/api/apps?page="+strconv.Itoa(p), etags[p])
+		switch rec.Code {
+		case http.StatusNotModified:
+			// Revalidated: content must really be unchanged.
+			rec2 := doGet(t, h, "/api/apps?page="+strconv.Itoa(p), "")
+			if string(rec2.Body.Bytes()) != string(bodies[p]) {
+				t.Fatalf("page %d revalidated but content changed", p)
+			}
+		case http.StatusOK:
+			if rec.Header().Get("ETag") == etags[p] {
+				t.Fatalf("page %d: 200 with unchanged ETag", p)
+			}
+		default:
+			t.Fatalf("page %d: status %d", p, rec.Code)
+		}
+	}
+}
+
+// TestPrewarmFillsDocs checks the post-swap warm-up: with PrewarmDocs set,
+// a day roll encodes hot documents in the background, visible through the
+// store_prewarm_docs_total counter.
+func TestPrewarmFillsDocs(t *testing.T) {
+	s := etagTestServer(t, Config{PageSize: 50, PrewarmDocs: 16, PrewarmWorkers: 2})
+	// Generate some route history so the budget apportions across routes.
+	h := s.Handler()
+	for i := 0; i < 5; i++ {
+		doGet(t, h, "/api/apps?page=0", "")
+		doGet(t, h, "/api/apps/"+strconv.Itoa(i), "")
+	}
+	if err := s.AdvanceDay(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.prewarmed.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("prewarm never encoded a document")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

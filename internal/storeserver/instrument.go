@@ -31,6 +31,10 @@ func (s *Server) initMetrics() {
 	s.total = s.reg.Counter("store_requests_total")
 	s.limited = s.reg.Counter("store_rate_limited_total")
 	s.inFlight = s.reg.Gauge("store_in_flight")
+	s.carried = s.reg.Counter("store_respcache_carried_total")
+	s.reencoded = s.reg.Counter("store_respcache_reencoded_total")
+	s.buildSeconds = s.reg.Histogram("store_snapshot_build_seconds")
+	s.prewarmed = s.reg.Counter("store_prewarm_docs_total")
 	s.routes = map[string]*routeInstruments{}
 	for _, route := range []string{"stats", "list", "detail", "comments", "apk"} {
 		ri := &routeInstruments{

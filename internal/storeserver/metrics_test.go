@@ -43,6 +43,10 @@ func TestMetricsEndpoint(t *testing.T) {
 		`store_responses_total{route="list",code="400"} 1`,
 		`store_request_seconds{route="detail",quantile="0.5"} `,
 		"store_rate_limited_total 0",
+		"store_respcache_carried_total ",
+		"store_respcache_reencoded_total ",
+		"store_snapshot_build_seconds_count 1",
+		"store_prewarm_docs_total 0",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, out)

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"strconv"
 	"sync"
+
+	"planetapps/internal/marketsim"
 )
 
 // bufPool recycles the scratch buffers responses are encoded into. Encoded
@@ -24,23 +26,12 @@ type cachedDoc struct {
 	clen string // pre-rendered Content-Length
 }
 
-// respCache is a fixed-size, index-addressed set of lazily built response
-// documents — one per listing page, per app detail, etc. It belongs to one
-// snapshot: the snapshot's immutability is what guarantees a filled entry
-// never goes stale, and swapping snapshots drops the whole cache at once.
-type respCache struct {
-	docs []cachedDoc
-}
-
-func newRespCache(n int) respCache {
-	return respCache{docs: make([]cachedDoc, n)}
-}
-
-// get returns document i, encoding it on first use. encode writes the JSON
-// body into buf and returns the document's ETag. Callers must bounds-check
-// i against the snapshot before calling.
-func (c *respCache) get(i int, encode func(buf *bytes.Buffer) (etag string)) (body []byte, etag, clen string) {
-	d := &c.docs[i]
+// fill encodes the document on first use. encode writes the JSON body
+// into buf and returns the document's ETag; the ETag must be a pure
+// function of the document's content (not of which snapshot is serving
+// it), because a carried-forward document keeps the ETag its first
+// snapshot computed.
+func (d *cachedDoc) fill(encode func(buf *bytes.Buffer) (etag string)) (body []byte, etag, clen string) {
 	d.once.Do(func() {
 		buf := bufPool.Get().(*bytes.Buffer)
 		buf.Reset()
@@ -50,6 +41,142 @@ func (c *respCache) get(i int, encode func(buf *bytes.Buffer) (etag string)) (bo
 		bufPool.Put(buf)
 	})
 	return d.body, d.etag, d.clen
+}
+
+// docChunk groups cache entries into fixed pointer blocks, sized to match
+// the export's chunking so a successor snapshot can adopt a whole block
+// when the export says the corresponding chunk is untouched. A block's
+// per-entry carry decisions travel as one uint64 bitmask, which requires
+// the block size to be exactly 64.
+const docChunk = marketsim.ExportChunk
+
+var _ [0]struct{} = [docChunk - 64]struct{}{} // docChunk must be 64: keep masks are uint64
+
+func numDocChunks(n int) int { return (n + docChunk - 1) / docChunk }
+
+// respCache is a fixed-size, index-addressed set of lazily built response
+// documents — one per listing page, per app detail, etc. Entries are
+// pointers so a successor snapshot can carry forward an unchanged
+// predecessor document — including its already-encoded bytes and the
+// fired sync.Once — instead of re-encoding it; a document shared this way
+// is filled at most once across all the snapshots that reference it. The
+// pointer array itself is chunked into docChunk-entry blocks so that at
+// large catalog sizes the carry is O(changed blocks), not O(documents):
+// an untouched block is shared as-is, costing the successor one slice
+// header instead of docChunk pointer writes (and costing the GC one
+// object instead of a fresh array to trace every cycle).
+type respCache struct {
+	n      int
+	chunks [][]*cachedDoc // block c spans entries [c*docChunk, min((c+1)*docChunk, n))
+}
+
+// newRespCache returns a cache of n all-fresh documents backed by a
+// single slab allocation.
+func newRespCache(n int) respCache {
+	slab := make([]cachedDoc, n)
+	ptrs := make([]*cachedDoc, n)
+	for i := range slab {
+		ptrs[i] = &slab[i]
+	}
+	chunks := make([][]*cachedDoc, numDocChunks(n))
+	for c := range chunks {
+		lo := c * docChunk
+		hi := lo + docChunk
+		if hi > n {
+			hi = n
+		}
+		chunks[c] = ptrs[lo:hi:hi]
+	}
+	return respCache{n: n, chunks: chunks}
+}
+
+// keepAll is the keep mask reporting every entry of a block unchanged.
+const keepAll = ^uint64(0)
+
+// carriedCache builds a cache of n documents over a predecessor. A whole
+// docChunk-entry block is shared with prev when sameChunk reports the
+// spanned rows unchanged (nil = never); within rebuilt blocks, entry
+// c*docChunk+j (for j below prev's coverage) is carried when bit j of
+// keepMask(c) reports its content unchanged and is a fresh document
+// otherwise. Fresh documents come from small bump-allocated slabs so a
+// low-churn day costs O(1) allocations. Returns the number of carried
+// entries.
+func carriedCache(n int, prev *respCache, sameChunk func(c int) bool, keepMask func(c int) uint64) (c respCache, carried int) {
+	if prev == nil {
+		return newRespCache(n), 0
+	}
+	nc := numDocChunks(n)
+	chunks := make([][]*cachedDoc, nc)
+
+	// Pass 1: adopt unchanged full blocks (a partial prev block can never
+	// be shared — rows appended after it would be missing) and size the
+	// pointer backing for the rest.
+	rebuilt := 0
+	for ch := 0; ch < nc; ch++ {
+		lo := ch * docChunk
+		hi := lo + docChunk
+		if hi > n {
+			hi = n
+		}
+		if hi-lo == docChunk && hi <= prev.n && sameChunk != nil && sameChunk(ch) {
+			chunks[ch] = prev.chunks[ch]
+			carried += docChunk
+			continue
+		}
+		rebuilt += hi - lo
+	}
+
+	// Pass 2: rebuild the dirty blocks, carrying unchanged entries
+	// pointer for pointer and bump-allocating fresh documents.
+	ptrs := make([]*cachedDoc, rebuilt)
+	var slab []cachedDoc
+	for ch := 0; ch < nc; ch++ {
+		if chunks[ch] != nil {
+			continue
+		}
+		lo := ch * docChunk
+		hi := lo + docChunk
+		if hi > n {
+			hi = n
+		}
+		blk := ptrs[: hi-lo : hi-lo]
+		ptrs = ptrs[hi-lo:]
+		mask := keepMask(ch)
+		if kept := prev.n - lo; kept < docChunk {
+			// Entries past prev's coverage have no predecessor document.
+			if kept <= 0 {
+				mask = 0
+			} else {
+				mask &= 1<<uint(kept) - 1
+			}
+		}
+		var prevBlk []*cachedDoc
+		if mask != 0 {
+			prevBlk = prev.chunks[ch]
+		}
+		for j := range blk {
+			if mask&(1<<uint(j)) != 0 {
+				blk[j] = prevBlk[j]
+				carried++
+				continue
+			}
+			if len(slab) == 0 {
+				slab = make([]cachedDoc, 256)
+			}
+			blk[j] = &slab[0]
+			slab = slab[1:]
+		}
+		chunks[ch] = blk
+	}
+	return respCache{n: n, chunks: chunks}, carried
+}
+
+func (c *respCache) docAt(i int) *cachedDoc { return c.chunks[i/docChunk][i%docChunk] }
+
+// get returns document i, encoding it on first use. Callers must
+// bounds-check i against the snapshot before calling.
+func (c *respCache) get(i int, encode func(buf *bytes.Buffer) (etag string)) (body []byte, etag, clen string) {
+	return c.docAt(i).fill(encode)
 }
 
 // encodeJSON writes v to buf, panicking on failure: every document the

@@ -17,16 +17,22 @@ import (
 // fields are write-once at construction; the response caches fill in place
 // but each entry is write-once behind a sync.Once, so the whole structure
 // is safe for unsynchronized concurrent reads.
+//
+// Successive snapshots are built as deltas: documents whose underlying
+// rows did not change since the predecessor are carried forward — pointer
+// for pointer, already-encoded bytes included — and every ETag is derived
+// from content versions (marketsim row/chunk versions, the comments
+// generation) rather than the day, so an unchanged document keeps its
+// ETag across days and a conditional crawler earns real cross-day 304s.
 type snapshot struct {
 	day    int
 	dayStr string
 	store  string
 
-	apps      []catalog.App
-	catNames  []string
-	devNames  []string
-	downloads []int64
-	total     int64
+	ex       *marketsim.Export
+	n        int // ex.NumApps()
+	catNames []string
+	devNames []string
 
 	pageSize int
 	pages    int
@@ -43,35 +49,107 @@ type snapshot struct {
 	list    respCache // one entry per listing page
 	detail  respCache // one entry per app
 	comDocs respCache // one entry per app's comment stream
+
+	// Build accounting, published to the metrics registry by publish():
+	// how many documents were carried forward vs allocated fresh (fresh
+	// documents re-encode lazily on first request).
+	carried   int64
+	reencoded int64
 }
 
 // newSnapshot freezes an export plus the current comment set into a
-// servable snapshot. Response documents are not encoded here — encoding
-// all pages eagerly would put O(catalog) JSON work on the AdvanceDay path;
-// instead each document is built on first request (see respCache).
-func newSnapshot(e marketsim.Export, comments map[catalog.AppID][]CommentJSON, gen int64, pageSize int) *snapshot {
-	pages := (len(e.Apps) + pageSize - 1) / pageSize
+// servable snapshot, carrying unchanged documents forward from prev (nil
+// for the first snapshot). Fresh documents are not encoded here — that
+// would put O(catalog) JSON work on the AdvanceDay path; each is built on
+// first request (see respCache), optionally front-run by Server.prewarm.
+func newSnapshot(e *marketsim.Export, prev *snapshot, comments map[catalog.AppID][]CommentJSON, gen int64, pageSize int) *snapshot {
+	n := e.NumApps()
+	pages := (n + pageSize - 1) / pageSize
 	if pages == 0 {
 		pages = 1
 	}
-	return &snapshot{
-		day:         e.Day,
-		dayStr:      strconv.Itoa(e.Day),
-		store:       e.Store,
-		apps:        e.Apps,
-		catNames:    e.CategoryNames,
-		devNames:    e.DeveloperNames,
-		downloads:   e.Downloads,
-		total:       e.TotalDownloads,
+	sn := &snapshot{
+		day:         e.Day(),
+		dayStr:      strconv.Itoa(e.Day()),
+		store:       e.Store(),
+		ex:          e,
+		n:           n,
+		catNames:    e.CategoryNames(),
+		devNames:    e.DeveloperNames(),
 		pageSize:    pageSize,
 		pages:       pages,
 		comments:    comments,
 		commentsGen: gen,
-		stats:       newRespCache(1),
-		list:        newRespCache(pages),
-		detail:      newRespCache(len(e.Apps)),
-		comDocs:     newRespCache(len(e.Apps)),
 	}
+	// The stats document embeds the day and the running download total, so
+	// it changes every day-roll and is always fresh.
+	sn.stats = newRespCache(1)
+
+	var prevEx *marketsim.Export
+	if prev != nil {
+		prevEx = prev.ex
+	}
+	var carried int
+
+	// Listing pages embed Total/Pages, so any catalog growth invalidates
+	// all of them; otherwise page p is unchanged iff no chunk it spans
+	// moved (chunk versions are monotone, so equal sums mean equal
+	// chunks).
+	if prev != nil && prev.n == n && prev.pageSize == pageSize {
+		sn.list, carried = carriedCache(pages, &prev.list, nil, func(c int) uint64 {
+			var mask uint64
+			for j := 0; j < docChunk; j++ {
+				p := c*docChunk + j
+				if p >= pages {
+					break
+				}
+				lo := p * pageSize
+				hi := lo + pageSize
+				if e.VersionSum(lo, hi) == prevEx.VersionSum(lo, hi) {
+					mask |= 1 << uint(j)
+				}
+			}
+			return mask
+		})
+		sn.carried += int64(carried)
+		sn.reencoded += int64(pages - carried)
+	} else {
+		sn.list = newRespCache(pages)
+		sn.reencoded += int64(pages)
+	}
+
+	// An app's detail document is a pure function of its row version
+	// (row fields + download count) and the immutable name tables. Whole
+	// untouched export chunks (the overwhelming majority at low churn)
+	// carry their pointer blocks wholesale; only dirty chunks walk rows.
+	if prev != nil {
+		sn.detail, carried = carriedCache(n, &prev.detail, func(c int) bool {
+			return e.ChunkUnchanged(prevEx, c)
+		}, func(c int) uint64 {
+			return e.UnchangedRows(prevEx, c)
+		})
+		sn.carried += int64(carried)
+		sn.reencoded += int64(n - carried)
+	} else {
+		sn.detail = newRespCache(n)
+		sn.reencoded += int64(n)
+	}
+
+	// Comment documents depend only on the comment set: same generation,
+	// same bytes — the whole population carries over (every full pointer
+	// block is shared outright; only the tail block, where arrivals land,
+	// is rebuilt).
+	if prev != nil && prev.commentsGen == gen {
+		sn.comDocs, carried = carriedCache(n, &prev.comDocs,
+			func(int) bool { return true }, func(int) uint64 { return keepAll })
+		sn.carried += int64(carried)
+		sn.reencoded += int64(n - carried)
+	} else {
+		sn.comDocs = newRespCache(n)
+		sn.reencoded += int64(n)
+	}
+	sn.reencoded++ // the always-fresh stats document
+	return sn
 }
 
 // appName renders "<store>-app-<id zero-padded to 5>" without fmt. Output
@@ -90,7 +168,7 @@ func appName(store string, id int32) string {
 }
 
 func (sn *snapshot) appJSON(i int) AppJSON {
-	a := &sn.apps[i]
+	a := sn.ex.App(i)
 	return AppJSON{
 		ID:        int32(a.ID),
 		Name:      appName(sn.store, int32(a.ID)),
@@ -101,32 +179,33 @@ func (sn *snapshot) appJSON(i int) AppJSON {
 		HasAds:    a.HasAds,
 		SizeMB:    a.SizeMB,
 		Version:   a.Versions,
-		Downloads: sn.downloads[i],
+		Downloads: sn.ex.Downloads(i),
 	}
 }
 
 // statsDoc returns the pre-summed store statistics document. The total was
-// accumulated once at export time, so serving it is O(1) instead of the
-// old O(apps) sum under the read lock.
+// accumulated incrementally by the market, so serving it is O(1).
 func (sn *snapshot) statsDoc() (body []byte, etag, clen string) {
 	return sn.stats.get(0, func(buf *bytes.Buffer) string {
 		encodeJSON(buf, StatsJSON{
 			Store:          sn.store,
 			Day:            sn.day,
-			Apps:           len(sn.apps),
-			TotalDownloads: sn.total,
+			Apps:           sn.n,
+			TotalDownloads: sn.ex.TotalDownloads(),
 		})
-		return `"d` + sn.dayStr + `"`
+		return `"s` + sn.dayStr + `-t` + strconv.FormatInt(sn.ex.TotalDownloads(), 10) + `"`
 	})
 }
 
-// listDoc returns listing page p (caller bounds-checks p < sn.pages).
+// listDoc returns listing page p (caller bounds-checks p < sn.pages). The
+// ETag encodes the catalog size and the spanned chunk versions — the
+// page's content version — so an untouched page revalidates across days.
 func (sn *snapshot) listDoc(p int) (body []byte, etag, clen string) {
 	return sn.list.get(p, func(buf *bytes.Buffer) string {
 		lo := p * sn.pageSize
 		hi := lo + sn.pageSize
-		if hi > len(sn.apps) {
-			hi = len(sn.apps)
+		if hi > sn.n {
+			hi = sn.n
 		}
 		if lo > hi {
 			lo = hi // empty catalog still serves page 0
@@ -135,23 +214,25 @@ func (sn *snapshot) listDoc(p int) (body []byte, etag, clen string) {
 			Apps:  make([]AppJSON, 0, hi-lo),
 			Page:  p,
 			Pages: sn.pages,
-			Total: len(sn.apps),
+			Total: sn.n,
 		}
 		for i := lo; i < hi; i++ {
 			out.Apps = append(out.Apps, sn.appJSON(i))
 		}
 		encodeJSON(buf, out)
-		return `"d` + sn.dayStr + `-p` + strconv.Itoa(p) + `"`
+		return `"p` + strconv.Itoa(p) + `-n` + strconv.Itoa(sn.n) +
+			`-v` + strconv.FormatUint(sn.ex.VersionSum(lo, hi), 10) + `"`
 	})
 }
 
-// detailDoc returns app i's detail document. The ETag encodes the snapshot
-// day plus the app's version, so a conditional crawler revalidates for
-// free within a day and re-fetches only when the store actually moved.
+// detailDoc returns app i's detail document. The ETag encodes the app's
+// row version — which advances only when the app's servable content
+// (row fields or download count) changes — so an unchanged app keeps its
+// ETag across day-rolls and a conditional crawler gets a true 304.
 func (sn *snapshot) detailDoc(i int) (body []byte, etag, clen string) {
 	return sn.detail.get(i, func(buf *bytes.Buffer) string {
 		encodeJSON(buf, sn.appJSON(i))
-		return `"d` + sn.dayStr + `-v` + strconv.Itoa(sn.apps[i].Versions) + `"`
+		return `"a` + strconv.Itoa(i) + `-r` + strconv.FormatUint(uint64(sn.ex.RowVer(i)), 10) + `"`
 	})
 }
 

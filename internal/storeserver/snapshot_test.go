@@ -45,11 +45,11 @@ func TestSnapshotConsistencyUnderAdvanceDay(t *testing.T) {
 	}
 	record := func(m *marketsim.Market) {
 		e := m.Export()
-		facts[e.Day] = dayFacts{
-			apps:  len(e.Apps),
-			total: e.TotalDownloads,
-			app0:  e.Downloads[0],
-			ver0:  e.Apps[0].Versions,
+		facts[e.Day()] = dayFacts{
+			apps:  e.NumApps(),
+			total: e.TotalDownloads(),
+			app0:  e.Downloads(0),
+			ver0:  e.App(0).Versions,
 		}
 	}
 	record(shadow)
@@ -178,24 +178,27 @@ func TestExportIsolation(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := m.Export()
-	apps0, total0 := len(before.Apps), before.TotalDownloads
-	downloads0 := append([]int64(nil), before.Downloads...)
+	apps0, total0 := before.NumApps(), before.TotalDownloads()
+	downloads0 := make([]int64, apps0)
+	for i := range downloads0 {
+		downloads0[i] = before.Downloads(i)
+	}
 	if err := m.Step(); err != nil {
 		t.Fatal(err)
 	}
 	after := m.Export()
-	if before.Day != 0 || after.Day != 1 {
-		t.Fatalf("days %d -> %d, want 0 -> 1", before.Day, after.Day)
+	if before.Day() != 0 || after.Day() != 1 {
+		t.Fatalf("days %d -> %d, want 0 -> 1", before.Day(), after.Day())
 	}
-	if len(before.Apps) != apps0 || before.TotalDownloads != total0 {
+	if before.NumApps() != apps0 || before.TotalDownloads() != total0 {
 		t.Fatal("export mutated by Step")
 	}
-	for i, d := range before.Downloads {
-		if d != downloads0[i] {
-			t.Fatalf("export download slice aliased live counts (app %d: %d -> %d)", i, downloads0[i], d)
+	for i, d := range downloads0 {
+		if got := before.Downloads(i); got != d {
+			t.Fatalf("export download slice aliased live counts (app %d: %d -> %d)", i, d, got)
 		}
 	}
-	if after.TotalDownloads <= before.TotalDownloads {
-		t.Fatalf("downloads did not grow: %d -> %d", before.TotalDownloads, after.TotalDownloads)
+	if after.TotalDownloads() <= before.TotalDownloads() {
+		t.Fatalf("downloads did not grow: %d -> %d", before.TotalDownloads(), after.TotalDownloads())
 	}
 }

@@ -83,6 +83,15 @@ type Config struct {
 	// IdleTTL is how long an idle client's rate-limit bucket is kept
 	// before eviction; <= 0 uses a default of two minutes.
 	IdleTTL time.Duration
+	// PrewarmDocs encodes up to this many of the hottest documents in the
+	// background right after each snapshot swap, so the first post-roll
+	// requests hit warm caches instead of thundering into cold encodes
+	// (0 = off). Hotness comes from the per-route request counters; see
+	// prewarm.go.
+	PrewarmDocs int
+	// PrewarmWorkers bounds the pre-warm encoding concurrency (<= 0
+	// defaults to 2).
+	PrewarmWorkers int
 }
 
 // DefaultConfig returns a config suitable for in-process crawling tests.
@@ -114,6 +123,14 @@ type Server struct {
 	total    *metrics.Counter
 	limited  *metrics.Counter
 	inFlight *metrics.Gauge
+
+	// Snapshot-build telemetry: documents carried forward vs allocated
+	// fresh per publish, the build duration, and documents encoded by the
+	// post-swap pre-warm.
+	carried      *metrics.Counter
+	reencoded    *metrics.Counter
+	buildSeconds *metrics.Histogram
+	prewarmed    *metrics.Counter
 }
 
 // New creates a server over a market. Comment streams may be attached with
@@ -126,19 +143,28 @@ func New(m *marketsim.Market, cfg Config) *Server {
 		cfg:    cfg,
 		market: m,
 	}
+	s.initMetrics()
 	s.publish()
 	if cfg.RatePerSec > 0 {
 		s.lim = newLimiter(cfg.RatePerSec, cfg.Burst, cfg.IdleTTL)
 	}
-	s.initMetrics()
 	return s
 }
 
 // publish freezes the market plus the current comment set into a new
-// snapshot and swaps it in. Callers must hold s.mu (the constructor is
-// exempt: the server has not escaped yet).
+// snapshot and swaps it in, carrying forward the previous snapshot's
+// pre-encoded documents wherever the underlying rows did not change.
+// Callers must hold s.mu (the constructor is exempt: the server has not
+// escaped yet).
 func (s *Server) publish() {
-	s.snap.Store(newSnapshot(s.market.Export(), s.comments, s.commentsGen, s.cfg.PageSize))
+	start := time.Now()
+	prev := s.snap.Load()
+	sn := newSnapshot(s.market.Export(), prev, s.comments, s.commentsGen, s.cfg.PageSize)
+	s.snap.Store(sn)
+	s.buildSeconds.ObserveSince(start)
+	s.carried.Add(sn.carried)
+	s.reencoded.Add(sn.reencoded)
+	s.prewarm(sn)
 }
 
 // SetComments attaches a generated comment stream, grouped per app, served
@@ -278,7 +304,7 @@ func (s *Server) handleApp(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sn := s.snap.Load()
-	if int(id) >= len(sn.apps) {
+	if int(id) >= sn.n {
 		http.Error(w, "no such app", http.StatusNotFound)
 		return
 	}
@@ -292,7 +318,7 @@ func (s *Server) handleComments(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sn := s.snap.Load()
-	if int(id) >= len(sn.apps) {
+	if int(id) >= sn.n {
 		http.Error(w, "no such app", http.StatusNotFound)
 		return
 	}
@@ -319,11 +345,11 @@ func (s *Server) handleAPK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sn := s.snap.Load()
-	if int(id) >= len(sn.apps) {
+	if int(id) >= sn.n {
 		http.Error(w, "no such app", http.StatusNotFound)
 		return
 	}
-	a := &sn.apps[int(id)]
+	a := sn.ex.App(int(id))
 	etag := `"v` + strconv.Itoa(a.Versions) + `"`
 	w.Header().Set("ETag", etag)
 	if r.Header.Get("If-None-Match") == etag {
