@@ -23,10 +23,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"planetapps"
+	"planetapps/internal/faultinject"
 	"planetapps/internal/marketsim"
 	"planetapps/internal/storeserver"
 )
@@ -44,6 +46,10 @@ func main() {
 		comments  = flag.Int("comments", 20000, "commenting user population (0 = no comments)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown deadline for in-flight requests")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
+
+		chaos      = flag.String("chaos", "", "arm a fault-injection scenario: "+strings.Join(faultinject.Names(), ", ")+" (empty = off)")
+		chaosSeed  = flag.Uint64("chaos-seed", 1, "fault-injection seed (same seed = same fault sequence)")
+		chaosScale = flag.Float64("chaos-scale", 1, "scale injected delays and Retry-After hints by this factor")
 
 		prewarm        = flag.Int("prewarm", 0, "pre-encode this many hot documents after each day roll (0 = off)")
 		prewarmWorkers = flag.Int("prewarm-workers", 0, "pre-warm worker pool size (0 = default)")
@@ -80,6 +86,17 @@ func main() {
 			log.Fatalf("appstored: comments: %v", err)
 		}
 		srv.SetComments(cs)
+	}
+	if *chaos != "" {
+		sc, err := faultinject.Lookup(*chaos)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		// The injector shares the server's registry so injected-fault
+		// counters ride the same /metrics page as the serving telemetry.
+		srv.SetChaos(faultinject.New(sc.Scale(*chaosScale), *chaosSeed, srv.Registry()))
+		log.Printf("appstored: chaos scenario %q armed (seed %d, scale %g)", *chaos, *chaosSeed, *chaosScale)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -8,10 +8,16 @@
 // and writes the database. Point -url at a running appstored to crawl an
 // external store instead.
 //
+// A fault-injection scenario (-chaos) can be armed against the in-process
+// store (or, for proxy-partition, against individual fleet nodes) to
+// demonstrate the resilient client crawling through failures; -naive
+// strips the recovery machinery for A/B comparison.
+//
 // Usage:
 //
 //	crawl -store anzhi -days 5 -proxies 4 -out crawl.jsonl
 //	crawl -url http://127.0.0.1:8080 -days 3 -out crawl.jsonl
+//	crawl -days 2 -chaos error-burst -out crawl.jsonl
 package main
 
 import (
@@ -19,12 +25,16 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"net/http/httptest"
 	"os"
+	"strings"
+	"time"
 
 	"planetapps"
 	"planetapps/internal/crawler"
 	"planetapps/internal/db"
+	"planetapps/internal/faultinject"
 	"planetapps/internal/marketsim"
 	"planetapps/internal/proxy"
 	"planetapps/internal/storeserver"
@@ -42,8 +52,28 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		comments  = flag.Bool("comments", true, "crawl per-app comments")
 		apks      = flag.Bool("apks", false, "download app packages (each version once)")
+
+		chaos      = flag.String("chaos", "", "inject faults into the in-process store (scenario: "+strings.Join(faultinject.Names(), ", ")+"); proxy-partition injects per proxy node instead")
+		chaosSeed  = flag.Uint64("chaos-seed", 1, "fault-injection seed")
+		chaosScale = flag.Float64("chaos-scale", 1, "scale injected delays and Retry-After hints")
+		naive      = flag.Bool("naive", false, "disable hedging, circuit breaking, adaptive concurrency, and proxy health scoring (A/B baseline)")
+		hedgeAfter = flag.Duration("hedge-after", 150*time.Millisecond, "launch a hedged duplicate of a request stuck this long (0 = off)")
+		retries    = flag.Int("retries", 10, "per-request retry budget for unhinted failures (server-directed Retry-After waits are bounded separately, by time)")
 	)
 	flag.Parse()
+
+	var chaosSc faultinject.Scenario
+	var storeInj *faultinject.Injector
+	if *chaos != "" {
+		if *url != "" {
+			log.Fatal("crawl: -chaos needs the in-process store (drop -url)")
+		}
+		sc, err := faultinject.Lookup(*chaos)
+		if err != nil {
+			log.Fatalf("crawl: %v", err)
+		}
+		chaosSc = sc.Scale(*chaosScale)
+	}
 
 	base := *url
 	var advance func() error
@@ -52,6 +82,14 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
+		}
+		// Store-wide scenarios arm the server itself (so faults render the
+		// API's native error shapes); node-scoped scenarios like
+		// proxy-partition instead wrap individual fleet nodes below.
+		if *chaos != "" && !nodeScoped(chaosSc) {
+			storeInj = faultinject.New(chaosSc, *chaosSeed, srv.Registry())
+			srv.SetChaos(storeInj)
+			log.Printf("crawl: chaos scenario %q armed on the store (seed %d)", *chaos, *chaosSeed)
 		}
 		ts := httptest.NewServer(srv.Handler())
 		defer ts.Close()
@@ -64,11 +102,21 @@ func main() {
 	cfg.Workers = *workers
 	cfg.FetchComments = *comments
 	cfg.FetchAPKs = *apks
+	cfg.Naive = *naive
+	cfg.HedgeAfter = *hedgeAfter
+	cfg.MaxRetries = *retries
+	var nodeInjs []*faultinject.Injector
 	if *proxies > 0 {
 		var urls []string
 		for i := 0; i < *proxies; i++ {
 			p := proxy.New(fmt.Sprintf("planetlab-%02d", i), "cn")
-			ps := httptest.NewServer(p.Handler())
+			var h http.Handler = p.Handler()
+			if *chaos != "" && nodeScoped(chaosSc) {
+				inj := faultinject.NewForNode(chaosSc, *chaosSeed, i, nil)
+				nodeInjs = append(nodeInjs, inj)
+				h = inj.Wrap(h)
+			}
+			ps := httptest.NewServer(h)
 			defer ps.Close()
 			urls = append(urls, ps.URL)
 		}
@@ -85,6 +133,7 @@ func main() {
 		log.Fatalf("crawl: %v", err)
 	}
 	ctx := context.Background()
+	var last crawler.Stats
 	for day := 0; day < *days; day++ {
 		if day > 0 && advance != nil {
 			if err := advance(); err != nil {
@@ -96,13 +145,39 @@ func main() {
 		if err != nil {
 			log.Fatalf("crawl: day %d: %v", day, err)
 		}
+		last = stats
 		log.Printf("crawl: day %d: %d apps, %d new comments, %d new APKs (%d bytes), %d requests (%d retries)",
 			stats.Day, stats.Apps, stats.Comments, stats.APKs, stats.APKBytes, stats.Requests, stats.Retries)
 	}
 	if err := c.DB().SaveFile(*out); err != nil {
 		log.Fatalf("crawl: saving %s: %v", *out, err)
 	}
+	cs := last.Client
+	log.Printf("crawl: resilience: %d attempts, %d retries, %d hedges (%d wins), %d invalid bodies, %d breaker opens, %d proxy demotions, p50 %.1fms p99 %.1fms",
+		cs.Attempts, cs.Retries, cs.Hedges, cs.HedgeWins, cs.InvalidBodies, cs.BreakerOpens, cs.ProxyDemotions, cs.LatencyP50MS, cs.LatencyP99MS)
+	if storeInj != nil {
+		log.Printf("crawl: chaos: %d faults injected by the store", storeInj.InjectedTotal())
+	}
+	for i, inj := range nodeInjs {
+		if n := inj.InjectedTotal(); n > 0 {
+			log.Printf("crawl: chaos: proxy node %d injected %d faults", i, n)
+		}
+	}
 	log.Printf("crawl: wrote %s (%d apps, %d comments)", *out, c.DB().NumApps(), c.DB().NumComments())
+}
+
+// nodeScoped reports whether every rule in sc targets a specific fleet
+// node — such scenarios describe a proxy partition, not store misbehavior.
+func nodeScoped(sc faultinject.Scenario) bool {
+	if len(sc.Rules) == 0 {
+		return false
+	}
+	for _, rl := range sc.Rules {
+		if rl.Node < 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // startStore builds the in-process appstore with comments attached.

@@ -29,8 +29,12 @@ import (
 	"syscall"
 	"time"
 
+	"net/http"
+
 	"planetapps/internal/catalog"
+	"planetapps/internal/faultinject"
 	"planetapps/internal/loadgen"
+	"planetapps/internal/resilient"
 	"planetapps/internal/marketsim"
 	"planetapps/internal/model"
 	"planetapps/internal/storeserver"
@@ -69,8 +73,29 @@ func main() {
 
 		dayRoll = flag.Duration("day-roll", 0, "day-roll scenario: advance the in-process store one day this long into the measured window and report pre/post-swap latency separately (0 = off)")
 		prewarm = flag.Int("prewarm", 0, "in-process store: pre-encode this many hot documents after each day roll (0 = off)")
+
+		apiVer     = flag.String("api", "legacy", "API surface to drive: legacy (/api) or v1 (/api/v1)")
+		chaos      = flag.String("chaos", "", "arm a fault-injection scenario on the in-process store: "+strings.Join(faultinject.Names(), ", "))
+		chaosSeed  = flag.Uint64("chaos-seed", 1, "fault-injection seed")
+		chaosScale = flag.Float64("chaos-scale", 1, "scale injected delays and Retry-After hints")
+		resil      = flag.Bool("resilient", false, "drive load through the resilient client (retries, hedged requests, circuit breaker) instead of a plain http.Client")
+		hedgeAfter = flag.Duration("hedge-after", 100*time.Millisecond, "resilient client: hedge requests stuck this long (0 = off)")
+		maxHedges  = flag.Int("max-hedges", 1, "resilient client: extra copies a stuck request may launch, one per hedge-after interval")
 	)
 	flag.Parse()
+
+	apiPrefix := "/api"
+	switch *apiVer {
+	case "legacy":
+	case "v1":
+		apiPrefix = "/api/v1"
+	default:
+		log.Fatalf("loadtest: unknown -api %q (want legacy or v1)", *apiVer)
+	}
+
+	if *chaos != "" && *target != "" {
+		log.Fatal("loadtest: -chaos needs the in-process store (drop -target)")
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -78,6 +103,7 @@ func main() {
 	// Resolve the target: external URL or in-process server.
 	baseURL := *target
 	var srv *storeserver.Server
+	var inj *faultinject.Injector
 	if baseURL == "" {
 		prof, ok := catalog.Profiles[*store]
 		if !ok {
@@ -94,6 +120,15 @@ func main() {
 			Burst:       *serverBurst,
 			PrewarmDocs: *prewarm,
 		})
+		if *chaos != "" {
+			sc, err := faultinject.Lookup(*chaos)
+			if err != nil {
+				log.Fatalf("loadtest: %v", err)
+			}
+			inj = faultinject.New(sc.Scale(*chaosScale), *chaosSeed, srv.Registry())
+			srv.SetChaos(inj)
+			log.Printf("loadtest: chaos scenario %q armed (seed %d, scale %g)", *chaos, *chaosSeed, *chaosScale)
+		}
 		ts := httptest.NewServer(srv.Handler())
 		defer ts.Close()
 		baseURL = ts.URL
@@ -123,8 +158,29 @@ func main() {
 		log.Fatalf("loadtest: %v", err)
 	}
 
+	// The resilient client slots under loadgen as a plain http.Client: its
+	// RoundTripper adapter runs every GET through the full recovery stack
+	// (retries, hedging, per-host circuit breaking) and surfaces the final
+	// status. AIMD admission is deliberately off — an open-loop generator
+	// must not let the client self-throttle arrivals.
+	var rc *resilient.Client
+	if *resil {
+		rc = resilient.New(resilient.Config{
+			Transport: &http.Transport{
+				MaxIdleConns:        *inflight,
+				MaxIdleConnsPerHost: *inflight,
+			},
+			AttemptTimeout: *timeout,
+			HedgeAfter:     *hedgeAfter,
+			MaxHedges:      *maxHedges,
+			Breaker:        &resilient.BreakerConfig{},
+			Seed:           *seed,
+		})
+	}
+
 	base := loadgen.Config{
 		BaseURL:     baseURL,
+		APIPrefix:   apiPrefix,
 		Stages:      stageList,
 		Users:       *vus,
 		Think:       *think,
@@ -134,6 +190,9 @@ func main() {
 		MaxEvents:   *events,
 		APKEvery:    *apkEvery,
 		Seed:        *seed,
+	}
+	if rc != nil {
+		base.Client = &http.Client{Transport: rc.Transport()}
 	}
 	if *dayRoll > 0 {
 		if srv == nil {
@@ -195,6 +254,20 @@ func main() {
 			"rate_limited":    srv.RateLimited(),
 			"limiter_buckets": srv.LimiterBuckets(),
 		}
+	}
+	if inj != nil {
+		combined["chaos"] = map[string]any{
+			"scenario":       *chaos,
+			"seed":           *chaosSeed,
+			"scale":          *chaosScale,
+			"injected_total": inj.InjectedTotal(),
+		}
+	}
+	if rc != nil {
+		cs := rc.Stats()
+		combined["client"] = cs
+		log.Printf("loadtest: resilient client: %d attempts, %d retries, %d hedges (%d wins), %d breaker opens",
+			cs.Attempts, cs.Retries, cs.Hedges, cs.HedgeWins, cs.BreakerOpens)
 	}
 
 	w := os.Stdout

@@ -1,8 +1,18 @@
 // Package crawler implements the paper's data-collection pipeline
-// (Figure 1): concurrent HTTP crawlers that walk a store's paginated app
-// listing, fetch per-app detail and comment pages, rotate requests across
-// a proxy pool, respect per-store politeness limits with retry/backoff,
-// and persist daily statistics into the local crawl database.
+// (Figure 1): concurrent HTTP crawlers that walk a store's app listing,
+// fetch per-app detail and comment pages, rotate requests across a proxy
+// pool, respect per-store politeness limits with retry/backoff, and
+// persist daily statistics into the local crawl database.
+//
+// The crawl speaks the store's /api/v1 surface: the listing is walked by
+// opaque cursor (stable across day-rolls, unlike page numbers) by one
+// sequential feeder, while per-app work — comments, APKs — fans out to
+// parallel workers. All HTTP goes through an internal/resilient client,
+// which supplies full-jitter backoff with Retry-After honoring, a
+// per-host circuit breaker, hedged requests, AIMD admission control,
+// response-body decode validation with re-fetch, and per-proxy health
+// rotation; cfg.Naive strips the hedging/breaker/AIMD extras for A/B
+// comparison under chaos.
 package crawler
 
 import (
@@ -10,7 +20,6 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"net/http"
 	"sync"
 	"time"
@@ -18,6 +27,7 @@ import (
 	"planetapps/internal/db"
 	"planetapps/internal/metrics"
 	"planetapps/internal/proxy"
+	"planetapps/internal/resilient"
 	"planetapps/internal/storeserver"
 )
 
@@ -25,18 +35,20 @@ import (
 type Config struct {
 	// BaseURL is the store's root URL, e.g. "http://127.0.0.1:8080".
 	BaseURL string
-	// Workers is the number of concurrent fetchers.
+	// Workers is the number of concurrent per-app fetchers.
 	Workers int
 	// RatePerSec bounds the crawler's aggregate request rate ("we designed
 	// our crawlers to comply with the thresholds set by each appstore");
-	// <= 0 disables the limiter.
+	// <= 0 disables the limiter. Retries and hedges spend the same budget.
 	RatePerSec float64
 	// MaxRetries is the per-request retry budget for 429/5xx/transport
-	// errors.
+	// errors and damaged payloads.
 	MaxRetries int
-	// Backoff is the initial retry delay, doubled per attempt.
+	// Backoff is the base of the full-jitter retry schedule.
 	Backoff time.Duration
-	// Proxies optionally routes requests through a rotating proxy pool.
+	// Proxies optionally routes requests through a proxy pool. Unless
+	// Naive, selection is health-scored: nodes are demoted after repeated
+	// transport failures and probed back in after a cooldown.
 	Proxies *proxy.Pool
 	// FetchComments enables per-app comment crawling.
 	FetchComments bool
@@ -45,20 +57,29 @@ type Config struct {
 	// each app version only once, so we do not affect the actual number
 	// of downloads" — and the simulated store indeed does not count them).
 	FetchAPKs bool
-	// Timeout bounds each HTTP request.
+	// Timeout bounds each HTTP attempt.
 	Timeout time.Duration
+	// HedgeAfter launches a duplicate of an attempt still in flight after
+	// this long, first completion winning (0 disables). Hedging converts
+	// injected tail-latency spikes into near-median fetches.
+	HedgeAfter time.Duration
+	// Naive strips the resilience extras — no hedging, no circuit
+	// breaker, no AIMD admission, no proxy health scoring — leaving plain
+	// retry/backoff. The chaos benchmark's baseline.
+	Naive bool
 	// CondCacheSize bounds the per-URL conditional-GET cache (entries);
 	// least-recently-used entries are evicted past the cap. <= 0 uses a
 	// default of 65536 — comfortably above one crawl pass of the test
 	// stores, so eviction only kicks in on long multi-store sessions.
 	CondCacheSize int
 	// Metrics optionally wires the crawler's counters (requests, 304
-	// revalidation hits, conditional-cache evictions) into a registry,
-	// e.g. the one a co-located /metrics endpoint serves.
+	// revalidation hits, conditional-cache evictions) plus the resilient
+	// client's fault/recovery counters into a registry.
 	Metrics *metrics.Registry
 }
 
-// DefaultConfig returns a configuration suited to the in-process store.
+// DefaultConfig returns a configuration suited to the in-process store:
+// hedging, breaker, and AIMD on (Naive turns them back off).
 func DefaultConfig(baseURL string) Config {
 	return Config{
 		BaseURL:    baseURL,
@@ -67,6 +88,7 @@ func DefaultConfig(baseURL string) Config {
 		MaxRetries: 5,
 		Backoff:    20 * time.Millisecond,
 		Timeout:    10 * time.Second,
+		HedgeAfter: 150 * time.Millisecond,
 	}
 }
 
@@ -82,7 +104,7 @@ type Stats struct {
 	APKs int
 	// APKBytes is the number of package bytes transferred.
 	APKBytes int64
-	// Requests counts HTTP requests issued (including retries).
+	// Requests counts HTTP attempts issued (retries and hedges included).
 	Requests int64
 	// Retries counts retried requests.
 	Retries int64
@@ -98,17 +120,20 @@ type Stats struct {
 	// CondEvictions counts conditional-cache entries dropped by the LRU
 	// cap; each eviction turns a would-be 304 back into a full transfer.
 	CondEvictions int64
+	// Client snapshots the resilient client's recovery activity: hedges
+	// and hedge wins, breaker opens, Retry-After waits, invalid bodies
+	// re-fetched, AIMD decreases, proxy demotions, latency quantiles.
+	Client resilient.Stats
 }
 
 // Crawler crawls one store into a database.
 type Crawler struct {
 	cfg    Config
-	client *http.Client
+	client *resilient.Client
+	health *resilient.ProxyHealth
 	db     *db.DB
 
 	mu          sync.Mutex
-	requests    int64
-	retries     int64
 	notModified int64
 
 	// cond caches the last validated (ETag, body) per JSON URL so repeat
@@ -127,10 +152,15 @@ type Crawler struct {
 	tokens float64
 	last   time.Time
 
-	// Optional registry-backed counters (nil without cfg.Metrics).
+	// Optional registry-backed counters (nil without cfg.Metrics); the
+	// resilient client registers its own counters alongside.
 	mRequests    *metrics.Counter
 	mNotModified *metrics.Counter
 	mEvictions   *metrics.Counter
+
+	// sessionRequests tracks attempts already attributed to previous
+	// CrawlDay calls, so mRequests advances by per-session deltas.
+	sessionRequests int64
 }
 
 type condEntry struct {
@@ -197,21 +227,41 @@ func New(cfg Config, database *db.DB) (*Crawler, error) {
 	if cfg.CondCacheSize <= 0 {
 		cfg.CondCacheSize = 65536
 	}
-	transport := &http.Transport{
-		MaxIdleConnsPerHost: cfg.Workers,
-	}
-	if cfg.Proxies != nil {
-		transport.Proxy = cfg.Proxies.ProxyFunc()
-	}
 	c := &Crawler{
 		cfg:     cfg,
-		client:  &http.Client{Transport: transport, Timeout: cfg.Timeout},
 		db:      database,
 		cond:    map[string]*list.Element{},
 		condLRU: list.New(),
 		tokens:  cfg.RatePerSec,
 		last:    time.Now(),
 	}
+	transport := &http.Transport{
+		MaxIdleConnsPerHost: cfg.Workers,
+	}
+	rcfg := resilient.Config{
+		Transport:      transport,
+		MaxRetries:     cfg.MaxRetries,
+		BaseBackoff:    cfg.Backoff,
+		AttemptTimeout: cfg.Timeout,
+		PreAttempt:     c.waitRate,
+		UserAgent:      "planetapps-crawler/1.0",
+		Metrics:        cfg.Metrics,
+	}
+	if !cfg.Naive {
+		rcfg.HedgeAfter = cfg.HedgeAfter
+		rcfg.Breaker = &resilient.BreakerConfig{}
+		rcfg.AIMD = &resilient.AIMDConfig{Max: float64(2 * cfg.Workers)}
+	}
+	if cfg.Proxies != nil {
+		if cfg.Naive {
+			transport.Proxy = cfg.Proxies.ProxyFunc()
+		} else {
+			c.health = resilient.NewProxyHealth(cfg.Proxies, resilient.ProxyHealthConfig{}, nil, cfg.Metrics)
+			transport.Proxy = c.health.ProxyFunc()
+			rcfg.ProxyHealth = c.health
+		}
+	}
+	c.client = resilient.New(rcfg)
 	if cfg.Metrics != nil {
 		c.mRequests = cfg.Metrics.Counter("crawler_requests_total")
 		c.mNotModified = cfg.Metrics.Counter("crawler_not_modified_total")
@@ -223,8 +273,13 @@ func New(cfg Config, database *db.DB) (*Crawler, error) {
 // DB returns the crawler's database.
 func (c *Crawler) DB() *db.DB { return c.db }
 
-// waitRate blocks until the aggregate token bucket grants a request.
+// waitRate blocks until the aggregate token bucket grants a request. It is
+// the resilient client's PreAttempt hook, so retries and hedges pay the
+// same politeness cost as first attempts.
 func (c *Crawler) waitRate(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if c.cfg.RatePerSec <= 0 {
 		return nil
 	}
@@ -251,178 +306,111 @@ func (c *Crawler) waitRate(ctx context.Context) error {
 	}
 }
 
-// getJSON fetches a URL with politeness, retries, and backoff, decoding the
-// JSON response into out. When a previous fetch of the same URL carried an
-// ETag, the request revalidates with If-None-Match and a 304 answer decodes
-// the cached body instead of transferring a fresh payload.
+// getJSON fetches a URL through the resilient client, decoding the JSON
+// response into out. Decoding runs as the client's body validator, so a
+// truncated or corrupted payload — injected chaos or a real flaky proxy —
+// is counted, discarded, and re-fetched instead of ingested. When a
+// previous fetch of the same URL carried an ETag the request revalidates
+// with If-None-Match, and a 304 answer decodes the cached body instead of
+// transferring a fresh payload.
 func (c *Crawler) getJSON(ctx context.Context, url string, out any) error {
-	backoff := c.cfg.Backoff
-	var lastErr error
-	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
-		if attempt > 0 {
-			c.mu.Lock()
-			c.retries++
-			c.mu.Unlock()
-			select {
-			case <-ctx.Done():
-				return ctx.Err()
-			case <-time.After(backoff):
-			}
-			backoff *= 2
-		}
-		if err := c.waitRate(ctx); err != nil {
-			return err
-		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-		if err != nil {
-			return err
-		}
-		req.Header.Set("User-Agent", "planetapps-crawler/1.0")
-		cached, haveCached := c.condGet(url)
-		if haveCached {
-			req.Header.Set("If-None-Match", cached.etag)
-		}
-		c.mu.Lock()
-		c.requests++
-		c.mu.Unlock()
-		if c.mRequests != nil {
-			c.mRequests.Inc()
-		}
-		resp, err := c.client.Do(req)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		func() {
-			defer resp.Body.Close()
-			switch {
-			case resp.StatusCode == http.StatusOK:
-				body, err := io.ReadAll(resp.Body)
-				if err != nil {
-					lastErr = err
-					return
-				}
-				if etag := resp.Header.Get("ETag"); etag != "" {
-					c.condPut(url, etag, body)
-				}
-				lastErr = json.Unmarshal(body, out)
-			case resp.StatusCode == http.StatusNotModified && haveCached:
-				io.Copy(io.Discard, resp.Body) //nolint:errcheck
-				c.mu.Lock()
-				c.notModified++
-				c.mu.Unlock()
-				if c.mNotModified != nil {
-					c.mNotModified.Inc()
-				}
-				lastErr = json.Unmarshal(cached.body, out)
-			case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
-				io.Copy(io.Discard, resp.Body) //nolint:errcheck
-				lastErr = fmt.Errorf("crawler: %s returned %d", url, resp.StatusCode)
-			default:
-				io.Copy(io.Discard, resp.Body) //nolint:errcheck
-				lastErr = &permanentError{fmt.Errorf("crawler: %s returned %d", url, resp.StatusCode)}
-			}
-		}()
-		if lastErr == nil {
-			return nil
-		}
-		if _, permanent := lastErr.(*permanentError); permanent {
-			return lastErr
-		}
+	cached, haveCached := c.condGet(url)
+	var hdr http.Header
+	if haveCached {
+		hdr = http.Header{"If-None-Match": []string{cached.etag}}
 	}
-	return fmt.Errorf("crawler: giving up on %s: %w", url, lastErr)
+	res, err := c.client.Get(ctx, url, hdr, func(r *resilient.Result) error {
+		if r.Status == http.StatusNotModified {
+			if !haveCached {
+				return fmt.Errorf("crawler: 304 for %s with no cached body", url)
+			}
+			return json.Unmarshal(cached.body, out)
+		}
+		return json.Unmarshal(r.Body, out)
+	})
+	if err != nil {
+		return err
+	}
+	if res.Status == http.StatusNotModified {
+		c.mu.Lock()
+		c.notModified++
+		c.mu.Unlock()
+		if c.mNotModified != nil {
+			c.mNotModified.Inc()
+		}
+		return nil
+	}
+	if etag := res.Header.Get("ETag"); etag != "" {
+		c.condPut(url, etag, res.Body)
+	}
+	return nil
 }
 
-type permanentError struct{ err error }
-
-func (e *permanentError) Error() string { return e.err.Error() }
-func (e *permanentError) Unwrap() error { return e.err }
-
-// getBytes fetches a URL with the same politeness/retry discipline as
-// getJSON, discarding the body but returning its length — used for APK
-// downloads, where only transfer accounting matters to the analyses.
+// getBytes fetches a URL with the same resilience discipline as getJSON,
+// discarding the body but returning its length — used for APK downloads,
+// where only transfer accounting matters to the analyses.
 func (c *Crawler) getBytes(ctx context.Context, url string) (int64, error) {
-	backoff := c.cfg.Backoff
-	var lastErr error
-	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
-		if attempt > 0 {
-			c.mu.Lock()
-			c.retries++
-			c.mu.Unlock()
-			select {
-			case <-ctx.Done():
-				return 0, ctx.Err()
-			case <-time.After(backoff):
-			}
-			backoff *= 2
-		}
-		if err := c.waitRate(ctx); err != nil {
-			return 0, err
-		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-		if err != nil {
-			return 0, err
-		}
-		req.Header.Set("User-Agent", "planetapps-crawler/1.0")
-		c.mu.Lock()
-		c.requests++
-		c.mu.Unlock()
-		resp, err := c.client.Do(req)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		var n int64
-		func() {
-			defer resp.Body.Close()
-			switch {
-			case resp.StatusCode == http.StatusOK:
-				n, lastErr = io.Copy(io.Discard, resp.Body)
-			case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode >= 500:
-				io.Copy(io.Discard, resp.Body) //nolint:errcheck
-				lastErr = fmt.Errorf("crawler: %s returned %d", url, resp.StatusCode)
-			default:
-				io.Copy(io.Discard, resp.Body) //nolint:errcheck
-				lastErr = &permanentError{fmt.Errorf("crawler: %s returned %d", url, resp.StatusCode)}
-			}
-		}()
-		if lastErr == nil {
-			return n, nil
-		}
-		if _, permanent := lastErr.(*permanentError); permanent {
-			return 0, lastErr
-		}
+	res, err := c.client.Get(ctx, url, nil, nil)
+	if err != nil {
+		return 0, err
 	}
-	return 0, fmt.Errorf("crawler: giving up on %s: %w", url, lastErr)
+	return int64(len(res.Body)), nil
 }
 
-// CrawlDay performs one full crawl pass: store stats, every listing page,
-// and (optionally) per-app comments, recording a DailyStat per app under
-// the store's current day.
+// CrawlDay performs one full crawl pass: store stats, the cursor-walked
+// app listing, and (optionally) per-app comments and packages, recording a
+// DailyStat per app under the store's current day.
+//
+// The listing walk is sequential — each slice's next_cursor feeds the next
+// request — while per-app work fans out to cfg.Workers parallel fetchers.
+// Cursor anchors are app IDs, so a day-roll mid-crawl cannot skip or
+// duplicate an app (the storeserver test suite pins this property); the
+// convergence guarantee under chaos is that the database after a crawl is
+// byte-identical to one crawled without faults.
 func (c *Crawler) CrawlDay(ctx context.Context) (Stats, error) {
 	var stats storeserver.StatsJSON
-	if err := c.getJSON(ctx, c.cfg.BaseURL+"/api/stats", &stats); err != nil {
+	if err := c.getJSON(ctx, c.cfg.BaseURL+"/api/v1/stats", &stats); err != nil {
 		return Stats{}, err
 	}
 	day := stats.Day
 
-	// Fetch page 0 to learn the page count, then fan pages out to workers.
-	var first storeserver.PageJSON
-	if err := c.getJSON(ctx, fmt.Sprintf("%s/api/apps?page=0", c.cfg.BaseURL), &first); err != nil {
-		return Stats{}, err
-	}
-	pages := make(chan int)
-	var wg sync.WaitGroup
-	var crawlErr error
-	var errOnce sync.Once
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	var crawlErr error
+	var errOnce sync.Once
+	fail := func(err error) { errOnce.Do(func() { crawlErr = err; cancel() }) }
 
 	var appCount, commentCount, apkCount, apkBytes int64
 	var countMu sync.Mutex
 
-	ingestPage := func(p storeserver.PageJSON) error {
-		for _, a := range p.Apps {
+	// Per-app side work (comments, APKs), fanned out to workers.
+	apps := make(chan storeserver.AppJSON, c.cfg.Workers*2)
+	var wg sync.WaitGroup
+	for w := 0; w < c.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for a := range apps {
+				if err := c.crawlApp(ctx, day, a, &commentCount, &apkCount, &apkBytes, &countMu); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Sequential cursor walk over the listing. Each slice is ingested
+	// inline (the upsert is cheap); per-app fetches go to the workers.
+	cursor := ""
+walk:
+	for {
+		var page storeserver.CursorPageJSON
+		url := c.cfg.BaseURL + "/api/v1/apps?cursor=" + cursor
+		if err := c.getJSON(ctx, url, &page); err != nil {
+			fail(err)
+			break
+		}
+		for _, a := range page.Apps {
 			c.db.UpsertApp(db.AppRecord{
 				ID: a.ID, Name: a.Name, Category: a.Category,
 				Developer: a.Developer, Paid: a.Paid, Price: a.Price,
@@ -433,73 +421,33 @@ func (c *Crawler) CrawlDay(ctx context.Context) (Stats, error) {
 			countMu.Lock()
 			appCount++
 			countMu.Unlock()
-			if c.cfg.FetchComments {
-				var cs []storeserver.CommentJSON
-				url := fmt.Sprintf("%s/api/apps/%d/comments", c.cfg.BaseURL, a.ID)
-				if err := c.getJSON(ctx, url, &cs); err != nil {
-					return err
-				}
-				for _, cm := range cs {
-					if c.db.AddComment(db.CommentRecord{
-						App: a.ID, User: cm.User, Rating: cm.Rating, UnixTime: cm.UnixTime,
-					}) {
-						countMu.Lock()
-						commentCount++
-						countMu.Unlock()
-					}
-				}
-			}
-			if c.cfg.FetchAPKs && !c.db.HasAPK(a.ID, a.Version) {
-				url := fmt.Sprintf("%s/api/apps/%d/apk", c.cfg.BaseURL, a.ID)
-				n, err := c.getBytes(ctx, url)
-				if err != nil {
-					return err
-				}
-				if c.db.RecordAPK(a.ID, a.Version, n) {
-					countMu.Lock()
-					apkCount++
-					apkBytes += n
-					countMu.Unlock()
+			if c.cfg.FetchComments || c.cfg.FetchAPKs {
+				select {
+				case apps <- a:
+				case <-ctx.Done():
+					break walk
 				}
 			}
 		}
-		return nil
-	}
-
-	if err := ingestPage(first); err != nil {
-		return Stats{}, err
-	}
-	for w := 0; w < c.cfg.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for page := range pages {
-				var p storeserver.PageJSON
-				url := fmt.Sprintf("%s/api/apps?page=%d", c.cfg.BaseURL, page)
-				if err := c.getJSON(ctx, url, &p); err != nil {
-					errOnce.Do(func() { crawlErr = err; cancel() })
-					return
-				}
-				if err := ingestPage(p); err != nil {
-					errOnce.Do(func() { crawlErr = err; cancel() })
-					return
-				}
-			}
-		}()
-	}
-feed:
-	for page := 1; page < first.Pages; page++ {
-		select {
-		case pages <- page:
-		case <-ctx.Done():
-			break feed
+		if page.NextCursor == "" {
+			break
 		}
+		cursor = page.NextCursor
 	}
-	close(pages)
+	close(apps)
 	wg.Wait()
 	if crawlErr != nil {
 		return Stats{}, crawlErr
 	}
+	if err := ctx.Err(); err != nil {
+		return Stats{}, err
+	}
+
+	cs := c.client.Stats()
+	if c.mRequests != nil {
+		c.mRequests.Add(cs.Attempts - c.sessionRequests)
+	}
+	c.sessionRequests = cs.Attempts
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := Stats{
@@ -508,9 +456,10 @@ feed:
 		Comments:    int(commentCount),
 		APKs:        int(apkCount),
 		APKBytes:    apkBytes,
-		Requests:    c.requests,
-		Retries:     c.retries,
+		Requests:    cs.Attempts,
+		Retries:     cs.Retries,
 		NotModified: c.notModified,
+		Client:      cs,
 	}
 	if st.Requests > 0 {
 		st.NotModifiedRate = float64(st.NotModified) / float64(st.Requests)
@@ -519,4 +468,38 @@ feed:
 	st.CondEvictions = c.condEvictions
 	c.condMu.Unlock()
 	return st, nil
+}
+
+// crawlApp fetches one app's comment stream and package as configured.
+func (c *Crawler) crawlApp(ctx context.Context, day int, a storeserver.AppJSON, commentCount, apkCount, apkBytes *int64, countMu *sync.Mutex) error {
+	if c.cfg.FetchComments {
+		var cs []storeserver.CommentJSON
+		url := fmt.Sprintf("%s/api/v1/apps/%d/comments", c.cfg.BaseURL, a.ID)
+		if err := c.getJSON(ctx, url, &cs); err != nil {
+			return err
+		}
+		for _, cm := range cs {
+			if c.db.AddComment(db.CommentRecord{
+				App: a.ID, User: cm.User, Rating: cm.Rating, UnixTime: cm.UnixTime,
+			}) {
+				countMu.Lock()
+				*commentCount++
+				countMu.Unlock()
+			}
+		}
+	}
+	if c.cfg.FetchAPKs && !c.db.HasAPK(a.ID, a.Version) {
+		url := fmt.Sprintf("%s/api/v1/apps/%d/apk", c.cfg.BaseURL, a.ID)
+		n, err := c.getBytes(ctx, url)
+		if err != nil {
+			return err
+		}
+		if c.db.RecordAPK(a.ID, a.Version, n) {
+			countMu.Lock()
+			*apkCount++
+			*apkBytes += n
+			countMu.Unlock()
+		}
+	}
+	return nil
 }

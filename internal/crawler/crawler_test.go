@@ -263,11 +263,11 @@ func TestCrawlRetriesServerErrors(t *testing.T) {
 			http.Error(w, "boom", http.StatusInternalServerError)
 			return
 		}
-		if r.URL.Path == "/api/stats" {
+		if r.URL.Path == "/api/stats" || r.URL.Path == "/api/v1/stats" {
 			w.Write([]byte(`{"store":"x","day":0,"apps":0,"total_downloads":0}`)) //nolint:errcheck
 			return
 		}
-		w.Write([]byte(`{"apps":[],"page":0,"pages":1,"total":0}`)) //nolint:errcheck
+		w.Write([]byte(`{"apps":[],"total":0}`)) //nolint:errcheck
 	}))
 	defer srv.Close()
 	cfg := DefaultConfig(srv.URL)

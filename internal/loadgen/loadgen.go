@@ -79,6 +79,9 @@ type Stage struct {
 type Config struct {
 	// BaseURL is the store root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
+	// APIPrefix selects the API surface to drive: "/api" (default,
+	// legacy) or "/api/v1".
+	APIPrefix string
 	// Client is the HTTP client; nil gets a client tuned for many
 	// concurrent connections to one host.
 	Client *http.Client
@@ -201,6 +204,9 @@ func New(cfg Config) (*Generator, error) {
 	if cfg.DayRollAfter > 0 && cfg.DayRollFn == nil {
 		return nil, errors.New("loadgen: DayRollAfter requires DayRollFn")
 	}
+	if cfg.APIPrefix == "" {
+		cfg.APIPrefix = "/api"
+	}
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = 4096
 	}
@@ -257,7 +263,7 @@ func clientAddr(user int32) string {
 // issue performs one request and records it under class.
 func (g *Generator) issue(ctx context.Context, class string, ev model.Event) {
 	cs := g.classes[class]
-	url := g.cfg.BaseURL + "/api/apps/" + strconv.Itoa(int(ev.App))
+	url := g.cfg.BaseURL + g.cfg.APIPrefix + "/apps/" + strconv.Itoa(int(ev.App))
 	if class == ClassAPK {
 		url += "/apk"
 	}

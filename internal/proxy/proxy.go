@@ -141,6 +141,10 @@ func NewPool(rawURLs []string) (*Pool, error) {
 // Size returns the number of proxies in the pool.
 func (p *Pool) Size() int { return len(p.urls) }
 
+// At returns the i-th proxy URL (modulo the pool size) — index-addressed
+// access for health-scored selectors that manage their own rotation.
+func (p *Pool) At(i int) *url.URL { return p.urls[i%len(p.urls)] }
+
 // Pick returns the next proxy URL in rotation.
 func (p *Pool) Pick() *url.URL {
 	i := p.next.Add(1) - 1

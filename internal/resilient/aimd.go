@@ -1,0 +1,135 @@
+package resilient
+
+import (
+	"context"
+	"sync"
+)
+
+// AIMDConfig tunes the adaptive concurrency limiter: additive increase on
+// success, multiplicative decrease on pressure (429s and timeouts), the
+// classic TCP congestion discipline applied to request concurrency. The
+// crawler starts near its worker count and backs off when the store
+// signals overload, instead of hammering a struggling endpoint with its
+// full parallelism.
+type AIMDConfig struct {
+	// Min is the concurrency floor (default 1) — progress never stops.
+	Min float64
+	// Max is the concurrency ceiling (default 64).
+	Max float64
+	// Start is the initial limit (default Max/2, at least Min).
+	Start float64
+	// Decrease is the multiplicative factor applied on pressure
+	// (default 0.7).
+	Decrease float64
+}
+
+func (c AIMDConfig) withDefaults() AIMDConfig {
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.Max <= 0 {
+		c.Max = 64
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	if c.Start <= 0 {
+		c.Start = c.Max / 2
+	}
+	if c.Start < c.Min {
+		c.Start = c.Min
+	}
+	if c.Decrease <= 0 || c.Decrease >= 1 {
+		c.Decrease = 0.7
+	}
+	return c
+}
+
+// aimd gates request admission at a moving concurrency limit.
+type aimd struct {
+	mu        sync.Mutex
+	cfg       AIMDConfig
+	limit     float64
+	inflight  int
+	waiters   []chan struct{}
+	decreases int64
+}
+
+func newAIMD(cfg AIMDConfig) *aimd {
+	cfg = cfg.withDefaults()
+	return &aimd{cfg: cfg, limit: cfg.Start}
+}
+
+// acquire blocks until an admission slot frees or ctx ends.
+func (a *aimd) acquire(ctx context.Context) error {
+	for {
+		a.mu.Lock()
+		if a.inflight < int(a.limit) {
+			a.inflight++
+			a.mu.Unlock()
+			return nil
+		}
+		ch := make(chan struct{}, 1)
+		a.waiters = append(a.waiters, ch)
+		a.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			a.drop(ch)
+			return ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// drop removes an abandoned waiter registration.
+func (a *aimd) drop(ch chan struct{}) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, w := range a.waiters {
+		if w == ch {
+			a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// release returns a slot, adjusting the limit: success grows it by
+// 1/limit (one unit per round-trip of the whole window, the additive
+// increase), pressure shrinks it multiplicatively.
+func (a *aimd) release(success, pressure bool) {
+	a.mu.Lock()
+	a.inflight--
+	if pressure {
+		a.limit *= a.cfg.Decrease
+		if a.limit < a.cfg.Min {
+			a.limit = a.cfg.Min
+		}
+		a.decreases++
+	} else if success {
+		a.limit += 1 / a.limit
+		if a.limit > a.cfg.Max {
+			a.limit = a.cfg.Max
+		}
+	}
+	free := int(a.limit) - a.inflight
+	for free > 0 && len(a.waiters) > 0 {
+		ch := a.waiters[0]
+		a.waiters = a.waiters[1:]
+		ch <- struct{}{}
+		free--
+	}
+	a.mu.Unlock()
+}
+
+// Limit returns the current concurrency limit (telemetry, tests).
+func (a *aimd) Limit() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.limit
+}
+
+func (a *aimd) Decreases() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.decreases
+}

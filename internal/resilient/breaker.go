@@ -1,0 +1,224 @@
+package resilient
+
+import (
+	"sync"
+	"time"
+
+	"planetapps/internal/metrics"
+)
+
+// BreakerConfig tunes the per-host circuit breaker.
+type BreakerConfig struct {
+	// Failures is how many consecutive failures open the circuit
+	// (default 8). Consecutive — not a ratio — so a host that still
+	// answers some requests through a fault storm keeps its circuit
+	// closed and only a genuinely dead host trips it.
+	Failures int
+	// Cooldown is how long an open circuit rejects before admitting
+	// half-open probes (default 400ms).
+	Cooldown time.Duration
+	// Probes is how many concurrent half-open probes are admitted
+	// (default 1).
+	Probes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Failures <= 0 {
+		c.Failures = 8
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 400 * time.Millisecond
+	}
+	if c.Probes <= 0 {
+		c.Probes = 1
+	}
+	return c
+}
+
+type breakerState uint8
+
+const (
+	stClosed breakerState = iota
+	stOpen
+	stHalfOpen
+)
+
+// Breaker is one host's circuit: closed (requests flow, consecutive
+// failures counted) -> open (requests rejected until Cooldown elapses) ->
+// half-open (a bounded number of probes fly; a probe success closes the
+// circuit, a probe failure re-opens it). Safe for concurrent use.
+type Breaker struct {
+	mu     sync.Mutex
+	cfg    BreakerConfig
+	clock  Clock
+	state  breakerState
+	fails  int
+	opened time.Time
+	probes int
+	opens  int64
+	// onOpen, when set, mirrors open transitions into a shared metrics
+	// counter (wired by breakerSet).
+	onOpen *metrics.Counter
+}
+
+// NewBreaker creates a closed breaker. A nil clock uses the wall clock.
+func NewBreaker(cfg BreakerConfig, clock Clock) *Breaker {
+	if clock == nil {
+		clock = realClock{}
+	}
+	return &Breaker{cfg: cfg.withDefaults(), clock: clock}
+}
+
+// Opens returns how many times the circuit has opened.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}
+
+// Token resolves one admitted request's outcome. Exactly one of its
+// methods must be called.
+type Token struct {
+	b     *Breaker
+	probe bool
+	done  bool
+}
+
+// Try asks to admit a request. When ok, the returned token must be
+// resolved with Success, Failure, or Cancel. When not ok, retryIn is how
+// long until the circuit will next admit a probe.
+func (b *Breaker) Try() (t *Token, retryIn time.Duration, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.clock.Now()
+	switch b.state {
+	case stClosed:
+		return &Token{b: b}, 0, true
+	case stOpen:
+		if wait := b.cfg.Cooldown - now.Sub(b.opened); wait > 0 {
+			return nil, wait, false
+		}
+		b.state = stHalfOpen
+		b.probes = 1
+		return &Token{b: b, probe: true}, 0, true
+	default: // half-open
+		if b.probes < b.cfg.Probes {
+			b.probes++
+			return &Token{b: b, probe: true}, 0, true
+		}
+		// Another probe is in flight; check back shortly.
+		wait := b.cfg.Cooldown / 8
+		if wait <= 0 {
+			wait = time.Millisecond
+		}
+		return nil, wait, false
+	}
+}
+
+// Success reports the request completed cleanly.
+func (t *Token) Success() { t.resolve(outcomeSuccess) }
+
+// Failure reports the request failed in a way that implicates the host
+// (transport error, 5xx, damaged body).
+func (t *Token) Failure() { t.resolve(outcomeFailure) }
+
+// Cancel reports the request never ran to a verdict (context canceled);
+// the breaker's failure accounting is untouched but any probe slot is
+// returned.
+func (t *Token) Cancel() { t.resolve(outcomeCancel) }
+
+type outcome uint8
+
+const (
+	outcomeSuccess outcome = iota
+	outcomeFailure
+	outcomeCancel
+)
+
+func (t *Token) resolve(o outcome) {
+	if t == nil || t.done {
+		return
+	}
+	t.done = true
+	b := t.b
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t.probe {
+		// This token was a half-open probe (or the transition probe from
+		// open). If the state moved on since — another probe resolved
+		// first — only the slot accounting applies.
+		if b.state == stHalfOpen {
+			b.probes--
+			switch o {
+			case outcomeSuccess:
+				b.state = stClosed
+				b.fails = 0
+				b.probes = 0
+			case outcomeFailure:
+				b.state = stOpen
+				b.opened = b.clock.Now()
+				b.markOpen()
+				b.probes = 0
+			}
+		}
+		return
+	}
+	if b.state != stClosed {
+		return // a straggler from before the circuit opened
+	}
+	switch o {
+	case outcomeSuccess:
+		b.fails = 0
+	case outcomeFailure:
+		b.fails++
+		if b.fails >= b.cfg.Failures {
+			b.state = stOpen
+			b.opened = b.clock.Now()
+			b.markOpen()
+			b.fails = 0
+		}
+	}
+}
+
+// markOpen tallies an open transition. Callers hold b.mu.
+func (b *Breaker) markOpen() {
+	b.opens++
+	if b.onOpen != nil {
+		b.onOpen.Inc()
+	}
+}
+
+// breakerSet lazily creates one Breaker per host.
+type breakerSet struct {
+	mu     sync.Mutex
+	cfg    BreakerConfig
+	clock  Clock
+	onOpen *metrics.Counter
+	m      map[string]*Breaker
+}
+
+func newBreakerSet(cfg BreakerConfig, clock Clock, onOpen *metrics.Counter) *breakerSet {
+	return &breakerSet{cfg: cfg, clock: clock, onOpen: onOpen, m: map[string]*Breaker{}}
+}
+
+func (s *breakerSet) forHost(host string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[host]
+	if !ok {
+		b = NewBreaker(s.cfg, s.clock)
+		b.onOpen = s.onOpen
+		s.m[host] = b
+	}
+	return b
+}
+
+func (s *breakerSet) opens() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, b := range s.m {
+		n += b.Opens()
+	}
+	return n
+}

@@ -1,0 +1,204 @@
+package resilient
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock; Sleep advances it instantly so
+// state-machine tests run in zero wall time.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2013, 4, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+func (f *fakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	f.Advance(d)
+	return nil
+}
+
+func mustTry(t *testing.T, b *Breaker) *Token {
+	t.Helper()
+	tk, _, ok := b.Try()
+	if !ok {
+		t.Fatalf("Try rejected; want admitted")
+	}
+	return tk
+}
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{Failures: 3, Cooldown: time.Second}, clk)
+
+	// Interleaved successes reset the consecutive counter: no trip.
+	for i := 0; i < 10; i++ {
+		mustTry(t, b).Failure()
+		mustTry(t, b).Failure()
+		mustTry(t, b).Success()
+	}
+	if _, _, ok := b.Try(); !ok {
+		t.Fatalf("circuit opened despite interleaved successes")
+	} else {
+		tk, _, _ := b.Try()
+		tk.Cancel()
+	}
+
+	// Three consecutive failures trip it.
+	mustTry(t, b).Failure()
+	mustTry(t, b).Failure()
+	mustTry(t, b).Failure()
+	if _, retryIn, ok := b.Try(); ok {
+		t.Fatalf("circuit still admitting after %d consecutive failures", 3)
+	} else if retryIn <= 0 || retryIn > time.Second {
+		t.Fatalf("retryIn = %v, want (0, 1s]", retryIn)
+	}
+	if got := b.Opens(); got != 1 {
+		t.Fatalf("Opens() = %d, want 1", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeSuccessCloses(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{Failures: 2, Cooldown: time.Second}, clk)
+	mustTry(t, b).Failure()
+	mustTry(t, b).Failure()
+
+	// Cooldown not yet elapsed: still rejecting.
+	clk.Advance(500 * time.Millisecond)
+	if _, _, ok := b.Try(); ok {
+		t.Fatalf("admitted during cooldown")
+	}
+
+	// Cooldown elapsed: exactly one probe flies; concurrent tries rejected.
+	clk.Advance(600 * time.Millisecond)
+	probe := mustTry(t, b)
+	if _, retryIn, ok := b.Try(); ok {
+		t.Fatalf("second probe admitted while first in flight")
+	} else if retryIn <= 0 {
+		t.Fatalf("half-open rejection retryIn = %v, want > 0", retryIn)
+	}
+
+	probe.Success()
+	// Closed again: requests flow and failure accounting restarts fresh.
+	mustTry(t, b).Failure()
+	if _, _, ok := b.Try(); !ok {
+		t.Fatalf("circuit not closed after probe success")
+	} else {
+		tk, _, _ := b.Try()
+		tk.Cancel()
+	}
+	if got := b.Opens(); got != 1 {
+		t.Fatalf("Opens() = %d, want 1", got)
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{Failures: 2, Cooldown: time.Second}, clk)
+	mustTry(t, b).Failure()
+	mustTry(t, b).Failure()
+
+	clk.Advance(time.Second)
+	probe := mustTry(t, b)
+	probe.Failure()
+	if _, _, ok := b.Try(); ok {
+		t.Fatalf("circuit admitting right after failed probe")
+	}
+	if got := b.Opens(); got != 2 {
+		t.Fatalf("Opens() = %d, want 2 (initial trip + probe failure)", got)
+	}
+
+	// The re-opened circuit recovers the same way.
+	clk.Advance(time.Second)
+	mustTry(t, b).Success()
+	if _, _, ok := b.Try(); !ok {
+		t.Fatalf("circuit not closed after second probe success")
+	} else {
+		tk, _, _ := b.Try()
+		tk.Cancel()
+	}
+}
+
+func TestBreakerProbeCancelReturnsSlot(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{Failures: 1, Cooldown: time.Second}, clk)
+	mustTry(t, b).Failure()
+
+	clk.Advance(time.Second)
+	probe := mustTry(t, b)
+	probe.Cancel()
+	// The canceled probe freed its slot: another probe is admitted without
+	// waiting out a new cooldown, and the circuit did not re-open.
+	next := mustTry(t, b)
+	next.Success()
+	if _, _, ok := b.Try(); !ok {
+		t.Fatalf("circuit not closed after probe success following cancel")
+	} else {
+		tk, _, _ := b.Try()
+		tk.Cancel()
+	}
+	if got := b.Opens(); got != 1 {
+		t.Fatalf("Opens() = %d, want 1", got)
+	}
+}
+
+func TestBreakerStragglerDoesNotCorruptState(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{Failures: 2, Cooldown: time.Second}, clk)
+
+	straggler := mustTry(t, b) // admitted while closed
+	mustTry(t, b).Failure()
+	mustTry(t, b).Failure() // circuit opens
+
+	// The straggler resolves after the trip: its failure must not count
+	// against the (future) half-open or re-closed state.
+	straggler.Failure()
+
+	clk.Advance(time.Second)
+	probe := mustTry(t, b)
+	probe.Success()
+	if _, _, ok := b.Try(); !ok {
+		t.Fatalf("straggler failure corrupted post-recovery state")
+	} else {
+		tk, _, _ := b.Try()
+		tk.Cancel()
+	}
+	if got := b.Opens(); got != 1 {
+		t.Fatalf("Opens() = %d, want 1", got)
+	}
+}
+
+func TestBreakerTokenResolveIsIdempotent(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{Failures: 2, Cooldown: time.Second}, clk)
+	tk := mustTry(t, b)
+	tk.Failure()
+	tk.Failure() // double resolve: ignored
+	tk.Failure()
+	if _, _, ok := b.Try(); !ok {
+		t.Fatalf("double-resolved token tripped the circuit (fails counted twice)")
+	}
+	var nilTok *Token
+	nilTok.Success() // nil token: no-op, used when the breaker is disabled
+}

@@ -1,0 +1,34 @@
+package resilient
+
+import (
+	"context"
+	"time"
+)
+
+// Clock abstracts time for the client and circuit breaker so the
+// state machines are testable with a fake clock (no real sleeping in
+// unit tests) while production uses the wall clock.
+type Clock interface {
+	Now() time.Time
+	// Sleep blocks for d or until ctx is done, returning ctx.Err() in the
+	// latter case.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,181 @@
+package resilient
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"planetapps/internal/metrics"
+	"planetapps/internal/proxy"
+)
+
+// ProxyHealthConfig tunes per-node health scoring.
+type ProxyHealthConfig struct {
+	// FailThreshold is how many consecutive transport failures demote a
+	// node (default 3).
+	FailThreshold int
+	// Cooldown is how long a demoted node sits out before it is probed
+	// again (default 2s).
+	Cooldown time.Duration
+}
+
+func (c ProxyHealthConfig) withDefaults() ProxyHealthConfig {
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * time.Second
+	}
+	return c
+}
+
+// ProxyHealth wraps a proxy.Pool with per-node health scoring: the
+// selector round-robins across healthy nodes, demotes a node after
+// FailThreshold consecutive transport failures, and re-probes demoted
+// nodes after Cooldown — the fail-over the paper's crawlers needed when
+// individual PlanetLab nodes died or were blacklisted mid-crawl.
+type ProxyHealth struct {
+	pool  *proxy.Pool
+	cfg   ProxyHealthConfig
+	clock Clock
+
+	mu    sync.Mutex
+	next  int
+	nodes []nodeHealth
+
+	demotions *metrics.Counter
+	probes    *metrics.Counter
+}
+
+type nodeHealth struct {
+	fails       int
+	demotedTill time.Time
+}
+
+// NewProxyHealth builds a health-scored selector over pool. A nil clock
+// uses the wall clock; reg (optional) receives demotion/probe counters.
+func NewProxyHealth(pool *proxy.Pool, cfg ProxyHealthConfig, clock Clock, reg *metrics.Registry) *ProxyHealth {
+	if clock == nil {
+		clock = realClock{}
+	}
+	ph := &ProxyHealth{
+		pool:  pool,
+		cfg:   cfg.withDefaults(),
+		clock: clock,
+		nodes: make([]nodeHealth, pool.Size()),
+	}
+	if reg != nil {
+		ph.demotions = reg.Counter("resilient_proxy_demotions_total")
+		ph.probes = reg.Counter("resilient_proxy_probes_total")
+	} else {
+		ph.demotions = &metrics.Counter{}
+		ph.probes = &metrics.Counter{}
+	}
+	return ph
+}
+
+// Demotions returns how many times nodes have been demoted.
+func (ph *ProxyHealth) Demotions() int64 { return ph.demotions.Value() }
+
+// pick selects the next node: round-robin over healthy nodes, admitting a
+// demoted node again once its cooldown lapses (as a probe). When every
+// node is demoted the one whose cooldown expires soonest is used — the
+// crawl keeps trying rather than stalling.
+func (ph *ProxyHealth) pick() int {
+	ph.mu.Lock()
+	defer ph.mu.Unlock()
+	n := len(ph.nodes)
+	now := ph.clock.Now()
+	bestIdx, bestWait := -1, time.Duration(1<<62)
+	for off := 0; off < n; off++ {
+		i := (ph.next + off) % n
+		nh := &ph.nodes[i]
+		if nh.demotedTill.IsZero() || !now.Before(nh.demotedTill) {
+			if !nh.demotedTill.IsZero() {
+				nh.demotedTill = time.Time{} // probe re-admission
+				ph.probes.Inc()
+			}
+			ph.next = (i + 1) % n
+			return i
+		}
+		if wait := nh.demotedTill.Sub(now); wait < bestWait {
+			bestWait, bestIdx = wait, i
+		}
+	}
+	ph.next = (bestIdx + 1) % n
+	return bestIdx
+}
+
+// Report records the outcome of a request routed through node i.
+// Only transport-level failures (the proxy itself unreachable or
+// resetting) implicate the node; an HTTP error relayed from the origin is
+// the origin's problem.
+func (ph *ProxyHealth) Report(i int, transportOK bool) {
+	if i < 0 || i >= len(ph.nodes) {
+		return
+	}
+	ph.mu.Lock()
+	defer ph.mu.Unlock()
+	nh := &ph.nodes[i]
+	if transportOK {
+		nh.fails = 0
+		nh.demotedTill = time.Time{}
+		return
+	}
+	nh.fails++
+	if nh.fails >= ph.cfg.FailThreshold {
+		nh.fails = 0
+		nh.demotedTill = ph.clock.Now().Add(ph.cfg.Cooldown)
+		ph.demotions.Inc()
+	}
+}
+
+// Healthy returns how many nodes are currently in rotation.
+func (ph *ProxyHealth) Healthy() int {
+	ph.mu.Lock()
+	defer ph.mu.Unlock()
+	now := ph.clock.Now()
+	n := 0
+	for i := range ph.nodes {
+		if ph.nodes[i].demotedTill.IsZero() || !now.Before(ph.nodes[i].demotedTill) {
+			n++
+		}
+	}
+	return n
+}
+
+// proxyChoiceKey carries the per-request slot the ProxyFunc records its
+// selection into, so the client can attribute the outcome to the node.
+type proxyChoiceKey struct{}
+
+type proxyChoice struct {
+	mu  sync.Mutex
+	idx int
+}
+
+// withChoice returns a context carrying a fresh selection slot.
+func withChoice(ctx context.Context) (context.Context, *proxyChoice) {
+	pc := &proxyChoice{idx: -1}
+	return context.WithValue(ctx, proxyChoiceKey{}, pc), pc
+}
+
+func (pc *proxyChoice) get() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.idx
+}
+
+// ProxyFunc adapts the health-scored selector to http.Transport.Proxy.
+func (ph *ProxyHealth) ProxyFunc() func(*http.Request) (*url.URL, error) {
+	return func(r *http.Request) (*url.URL, error) {
+		i := ph.pick()
+		if pc, ok := r.Context().Value(proxyChoiceKey{}).(*proxyChoice); ok {
+			pc.mu.Lock()
+			pc.idx = i
+			pc.mu.Unlock()
+		}
+		return ph.pool.At(i), nil
+	}
+}

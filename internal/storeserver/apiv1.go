@@ -1,0 +1,281 @@
+package storeserver
+
+import (
+	"bytes"
+	"encoding/base64"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"planetapps/internal/faultinject"
+)
+
+// This file is the /api/v1 surface: the same pre-encoded snapshot
+// documents the legacy /api routes serve — byte for byte, ETag for ETag —
+// fronted by versioned paths, a structured JSON error envelope, honest
+// Retry-After values on 429s, and opaque cursor pagination that stays
+// stable across day-rolls. The legacy routes remain exactly as they were
+// (bare-string errors, "Retry-After: 1") so pre-v1 crawlers keep getting
+// bit-identical responses.
+
+// apiVersion is the value of the X-API-Version response header on every
+// v1 response, success or error.
+const apiVersion = "1"
+
+// ErrorBody is the payload of the v1 error envelope.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// RetryAfterMS carries the server's backoff request in milliseconds —
+	// finer-grained than the whole-second Retry-After header, which a
+	// simulation stepping in milliseconds would otherwise round up into
+	// thousand-fold stalls.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// ErrorJSON is the v1 error envelope: {"error":{"code","message",...}}.
+type ErrorJSON struct {
+	Error ErrorBody `json:"error"`
+}
+
+// isV1 reports whether the request targets the versioned API surface.
+func isV1(path string) bool { return strings.HasPrefix(path, "/api/v1/") }
+
+// writeV1Error renders the v1 error envelope. retryAfter > 0 additionally
+// sets the Retry-After header (ceiling seconds, minimum 1 — the header
+// cannot express sub-second waits; the envelope's retry_after_ms can).
+func writeV1Error(w http.ResponseWriter, status int, code, msg string, retryAfter time.Duration) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-API-Version", apiVersion)
+	e := ErrorJSON{Error: ErrorBody{Code: code, Message: msg}}
+	if retryAfter > 0 {
+		secs := int64((retryAfter + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		h.Set("Retry-After", strconv.FormatInt(secs, 10))
+		ms := int64(retryAfter / time.Millisecond)
+		if ms < 1 {
+			ms = 1
+		}
+		e.Error.RetryAfterMS = ms
+	}
+	w.WriteHeader(status)
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	encodeJSON(buf, e)
+	w.Write(buf.Bytes()) //nolint:errcheck // client gone; nothing useful to do
+	bufPool.Put(buf)
+}
+
+// v1Doc marks a response as v1 and serves a pre-encoded snapshot document.
+// The bytes and ETag are the very same cachedDoc the legacy route serves —
+// versioning the path costs zero extra encodes.
+func v1Doc(w http.ResponseWriter, r *http.Request, sn *snapshot, body []byte, etag, clen string) {
+	w.Header().Set("X-API-Version", apiVersion)
+	serveDoc(w, r, sn, body, etag, clen)
+}
+
+func (s *Server) handleStatsV1(w http.ResponseWriter, r *http.Request) {
+	sn := s.snap.Load()
+	body, etag, clen := sn.statsDoc()
+	v1Doc(w, r, sn, body, etag, clen)
+}
+
+func (s *Server) handleListV1(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if q.Has("cursor") {
+		if q.Has("page") {
+			writeV1Error(w, http.StatusBadRequest, "bad_request",
+				"page and cursor are mutually exclusive", 0)
+			return
+		}
+		s.handleCursorV1(w, r, q.Get("cursor"))
+		return
+	}
+	page := 0
+	if p := q.Get("page"); p != "" {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 {
+			writeV1Error(w, http.StatusBadRequest, "bad_page",
+				"page must be a non-negative integer", 0)
+			return
+		}
+		page = v
+	}
+	sn := s.snap.Load()
+	if page >= sn.pages {
+		writeV1Error(w, http.StatusNotFound, "page_out_of_range",
+			"page "+strconv.Itoa(page)+" beyond last page "+strconv.Itoa(sn.pages-1), 0)
+		return
+	}
+	body, etag, clen := sn.listDoc(page)
+	v1Doc(w, r, sn, body, etag, clen)
+}
+
+func (s *Server) v1PathID(w http.ResponseWriter, r *http.Request, sn *snapshot) (int, bool) {
+	v, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
+	if err != nil || v < 0 {
+		writeV1Error(w, http.StatusBadRequest, "bad_app_id",
+			"app id must be a non-negative integer", 0)
+		return 0, false
+	}
+	if int(v) >= sn.n {
+		writeV1Error(w, http.StatusNotFound, "app_not_found",
+			"no app with id "+strconv.FormatInt(v, 10), 0)
+		return 0, false
+	}
+	return int(v), true
+}
+
+func (s *Server) handleAppV1(w http.ResponseWriter, r *http.Request) {
+	sn := s.snap.Load()
+	id, ok := s.v1PathID(w, r, sn)
+	if !ok {
+		return
+	}
+	body, etag, clen := sn.detailDoc(id)
+	v1Doc(w, r, sn, body, etag, clen)
+}
+
+func (s *Server) handleCommentsV1(w http.ResponseWriter, r *http.Request) {
+	sn := s.snap.Load()
+	id, ok := s.v1PathID(w, r, sn)
+	if !ok {
+		return
+	}
+	body, etag, clen := sn.commentsDoc(id)
+	v1Doc(w, r, sn, body, etag, clen)
+}
+
+func (s *Server) handleAPKV1(w http.ResponseWriter, r *http.Request) {
+	sn := s.snap.Load()
+	if _, ok := s.v1PathID(w, r, sn); !ok {
+		return
+	}
+	w.Header().Set("X-API-Version", apiVersion)
+	// The APK payload logic (deterministic stream, version ETag) is
+	// identical in both API versions; delegate to the legacy handler.
+	s.handleAPK(w, r)
+}
+
+// --- cursor pagination ---------------------------------------------------
+
+// CursorPageJSON is one cursor-addressed slice of the listing. NextCursor
+// is absent on the final slice.
+type CursorPageJSON struct {
+	Apps       []AppJSON `json:"apps"`
+	NextCursor string    `json:"next_cursor,omitempty"`
+	Total      int       `json:"total"`
+}
+
+// cursorPrefix versions the cursor wire format so a format change can be
+// detected instead of misparsed.
+const cursorPrefix = "a"
+
+// encodeCursor renders the opaque cursor anchored at app ID next. The
+// catalog is append-only and app i has ID i, so an ID anchor — unlike a
+// page number — addresses the same apps before and after a day-roll: a
+// crawl paginating across AdvanceDay sees every app exactly once.
+func encodeCursor(next int) string {
+	return base64.RawURLEncoding.EncodeToString([]byte(cursorPrefix + strconv.Itoa(next)))
+}
+
+// decodeCursor parses an opaque cursor; ok is false for anything not
+// produced by encodeCursor.
+func decodeCursor(s string) (int, bool) {
+	b, err := base64.RawURLEncoding.DecodeString(s)
+	if err != nil || len(b) < len(cursorPrefix)+1 || string(b[:len(cursorPrefix)]) != cursorPrefix {
+		return 0, false
+	}
+	v, err := strconv.Atoi(string(b[len(cursorPrefix):]))
+	if err != nil || v < 0 {
+		return 0, false
+	}
+	return v, true
+}
+
+// handleCursorV1 serves one cursor-addressed listing slice. An empty
+// cursor value starts from the beginning. Cursor documents are encoded per
+// request — their alignment shifts with the anchor, so pre-encoding every
+// offset is not worthwhile — but the ETag is computed from the spanned
+// rows' content versions *before* encoding, so an If-None-Match
+// revalidation costs no JSON work at all.
+func (s *Server) handleCursorV1(w http.ResponseWriter, r *http.Request, cursor string) {
+	lo := 0
+	if cursor != "" {
+		v, ok := decodeCursor(cursor)
+		if !ok {
+			writeV1Error(w, http.StatusBadRequest, "bad_cursor",
+				"cursor is invalid or from an incompatible version", 0)
+			return
+		}
+		lo = v
+	}
+	sn := s.snap.Load()
+	hi := lo + sn.pageSize
+	if hi > sn.n {
+		hi = sn.n
+	}
+	if lo > hi {
+		// A cursor parked past the end of the catalog (the crawl finished
+		// and the catalog has not grown yet): an empty terminal slice, not
+		// an error, so a resumable crawler can poll for growth.
+		lo = hi
+	}
+	etag := `"u` + strconv.Itoa(lo) + `-n` + strconv.Itoa(sn.n) +
+		`-v` + strconv.FormatUint(sn.ex.VersionSum(lo, hi), 10) + `"`
+	h := w.Header()
+	h.Set("X-API-Version", apiVersion)
+	h.Set("ETag", etag)
+	h.Set("X-Store-Day", sn.dayStr)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	out := CursorPageJSON{Apps: make([]AppJSON, 0, hi-lo), Total: sn.n}
+	for i := lo; i < hi; i++ {
+		out.Apps = append(out.Apps, sn.appJSON(i))
+	}
+	if hi < sn.n {
+		out.NextCursor = encodeCursor(hi)
+	}
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	encodeJSON(buf, out)
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.Write(buf.Bytes()) //nolint:errcheck // client gone; nothing useful to do
+	bufPool.Put(buf)
+}
+
+// --- chaos wiring ---------------------------------------------------------
+
+// SetChaos installs a fault injector in front of the API routes (the
+// /metrics endpoint stays fault-free so observation survives the storm).
+// Injected error responses are rendered in the API dialect of the path
+// they hit: v1 requests get the envelope with retry_after_ms, legacy
+// requests get plain-text errors. Must be called before Handler().
+func (s *Server) SetChaos(inj *faultinject.Injector) {
+	inj.SetErrorWriter(func(w http.ResponseWriter, r *http.Request, status int, retryAfter time.Duration) {
+		if isV1(r.URL.Path) {
+			code := "unavailable"
+			if status == http.StatusTooManyRequests {
+				code = "rate_limited"
+			}
+			writeV1Error(w, status, code, "injected fault", retryAfter)
+			return
+		}
+		if retryAfter > 0 {
+			secs := int64((retryAfter + time.Second - 1) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		}
+		http.Error(w, http.StatusText(status), status)
+	})
+	s.chaos = inj
+}

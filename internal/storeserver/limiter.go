@@ -62,6 +62,14 @@ func shardFor(key string) uint32 {
 // allow reports whether the client identified by key may proceed at now,
 // consuming one token if so.
 func (l *limiter) allow(key string, now time.Time) bool {
+	ok, _ := l.allowWait(key, now)
+	return ok
+}
+
+// allowWait is allow plus, on denial, how long until the bucket refills to
+// one token — the honest Retry-After value the v1 API reports instead of
+// the legacy hard-coded "1".
+func (l *limiter) allowWait(key string, now time.Time) (bool, time.Duration) {
 	sh := &l.shards[shardFor(key)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -86,10 +94,14 @@ func (l *limiter) allow(key string, now time.Time) bool {
 	}
 	b.last = now
 	if b.tokens < 1 {
-		return false
+		wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+		if wait <= 0 {
+			wait = time.Millisecond
+		}
+		return false, wait
 	}
 	b.tokens--
-	return true
+	return true, 0
 }
 
 // size returns the total tracked buckets across shards (telemetry, tests).

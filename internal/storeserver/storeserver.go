@@ -28,6 +28,7 @@ import (
 
 	"planetapps/internal/catalog"
 	"planetapps/internal/comments"
+	"planetapps/internal/faultinject"
 	"planetapps/internal/marketsim"
 	"planetapps/internal/metrics"
 )
@@ -118,6 +119,10 @@ type Server struct {
 
 	lim *limiter
 
+	// chaos, when set via SetChaos before Handler, injects scenario faults
+	// into the API routes (never /metrics).
+	chaos *faultinject.Injector
+
 	reg      *metrics.Registry
 	routes   map[string]*routeInstruments
 	total    *metrics.Counter
@@ -204,8 +209,13 @@ func (s *Server) Day() int {
 }
 
 // Handler returns the HTTP handler serving the store API plus the
-// telemetry endpoint. /metrics sits outside the rate limiter so a scraper
-// is never 429'd by the workload it is observing.
+// telemetry endpoint. The legacy /api routes and the versioned /api/v1
+// routes share the same route instruments and the same pre-encoded
+// documents — /api/v1 differs only in error rendering (JSON envelope),
+// honest Retry-After values, cursor pagination, and the X-API-Version
+// header. /metrics sits outside both the rate limiter and the fault
+// injector so a scraper is never 429'd (or chaos-injected) by the
+// workload it is observing.
 func (s *Server) Handler() http.Handler {
 	api := http.NewServeMux()
 	api.Handle("GET /api/stats", s.instrument("stats", s.handleStats))
@@ -213,20 +223,41 @@ func (s *Server) Handler() http.Handler {
 	api.Handle("GET /api/apps/{id}", s.instrument("detail", s.handleApp))
 	api.Handle("GET /api/apps/{id}/comments", s.instrument("comments", s.handleComments))
 	api.Handle("GET /api/apps/{id}/apk", s.instrument("apk", s.handleAPK))
+	api.Handle("GET /api/v1/stats", s.instrument("stats", s.handleStatsV1))
+	api.Handle("GET /api/v1/apps", s.instrument("list", s.handleListV1))
+	api.Handle("GET /api/v1/apps/{id}", s.instrument("detail", s.handleAppV1))
+	api.Handle("GET /api/v1/apps/{id}/comments", s.instrument("comments", s.handleCommentsV1))
+	api.Handle("GET /api/v1/apps/{id}/apk", s.instrument("apk", s.handleAPKV1))
+	var inner http.Handler = api
+	if s.chaos != nil {
+		inner = s.chaos.Wrap(inner)
+	}
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", s.reg.Handler())
-	mux.Handle("/", s.limit(api))
+	mux.Handle("/", s.limit(inner))
 	return mux
 }
 
-// limit applies per-client token-bucket rate limiting.
+// limit applies per-client token-bucket rate limiting. A rejected legacy
+// request gets the historical bare-string 429 with "Retry-After: 1",
+// byte-identical to every previous release; a rejected v1 request gets the
+// error envelope carrying the limiter's actual time-to-next-token, both as
+// a Retry-After header (ceiling seconds) and as retry_after_ms.
 func (s *Server) limit(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if s.lim != nil && !s.lim.allow(clientKey(r), time.Now()) {
-			s.limited.Inc()
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
-			return
+		if s.lim != nil {
+			ok, wait := s.lim.allowWait(clientKey(r), time.Now())
+			if !ok {
+				s.limited.Inc()
+				if isV1(r.URL.Path) {
+					writeV1Error(w, http.StatusTooManyRequests, "rate_limited",
+						"rate limit exceeded", wait)
+				} else {
+					w.Header().Set("Retry-After", "1")
+					http.Error(w, "rate limit exceeded", http.StatusTooManyRequests)
+				}
+				return
+			}
 		}
 		if s.cfg.Latency > 0 {
 			time.Sleep(s.cfg.Latency)
