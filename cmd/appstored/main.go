@@ -40,7 +40,8 @@ func main() {
 		scale     = flag.Float64("scale", 0.5, "population scale factor")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		days      = flag.Int("days", 60, "simulated measurement period length")
-		dayEvery  = flag.Duration("day-every", 0, "advance one simulated day per interval (0 = only via crawler-observed day 0)")
+		dayEvery  = flag.Duration("day-every", 0, "advance one simulated day per interval (0 = only via crawler-observed day 0); also sets the /api/v1 freshness lifetime")
+		freshFor  = flag.Duration("fresh-for", 0, "declare /api/v1 responses fresh for this long (manual-roll deployments; ignored when -day-every is set)")
 		rate      = flag.Float64("rate", 200, "per-client request rate limit (req/s, 0 = off)")
 		burst     = flag.Int("burst", 50, "per-client rate limit burst")
 		comments  = flag.Int("comments", 20000, "commenting user population (0 = no comments)")
@@ -79,6 +80,8 @@ func main() {
 		Burst:          *burst,
 		PrewarmDocs:    *prewarm,
 		PrewarmWorkers: *prewarmWorkers,
+		DayInterval:    *dayEvery,
+		FreshFor:       *freshFor,
 	})
 	if *comments > 0 {
 		cs, err := planetapps.GenerateComments(m.Catalog(), *comments, *seed+1)

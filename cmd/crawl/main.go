@@ -34,6 +34,7 @@ import (
 	"planetapps"
 	"planetapps/internal/crawler"
 	"planetapps/internal/db"
+	"planetapps/internal/edgecache"
 	"planetapps/internal/faultinject"
 	"planetapps/internal/marketsim"
 	"planetapps/internal/proxy"
@@ -59,6 +60,12 @@ func main() {
 		naive      = flag.Bool("naive", false, "disable hedging, circuit breaking, adaptive concurrency, and proxy health scoring (A/B baseline)")
 		hedgeAfter = flag.Duration("hedge-after", 150*time.Millisecond, "launch a hedged duplicate of a request stuck this long (0 = off)")
 		retries    = flag.Int("retries", 10, "per-request retry budget for unhinted failures (server-directed Retry-After waits are bounded separately, by time)")
+
+		viaEdge      = flag.Bool("via-edge", false, "route the crawl through an in-process edge-cache tier")
+		edgePolicy   = flag.String("edge-policy", "lru", "edge replacement policy: lru, 2q, category")
+		edgeMB       = flag.Int("edge-mb", 64, "edge cache budget in MiB")
+		edgePrefetch = flag.Int("edge-prefetch", 0, "edge prefetch-warming budget per detail request (0 = off)")
+		edgeChaos    = flag.String("edge-chaos", "", "inject faults on the edge->origin leg (scenario name; empty = off)")
 	)
 	flag.Parse()
 
@@ -96,6 +103,40 @@ func main() {
 		base = ts.URL
 		advance = srv.AdvanceDay
 		log.Printf("crawl: started in-process %s store at %s", *storeName, base)
+	}
+
+	// The edge tier slots in between the crawler and whatever origin was
+	// chosen above (in-process or external): the crawler's base URL simply
+	// becomes the edge's listener.
+	var edge *edgecache.Server
+	var edgeInj *faultinject.Injector
+	if *viaEdge {
+		ecfg := edgecache.Config{
+			Origin:         base,
+			CapacityBytes:  int64(*edgeMB) << 20,
+			Policy:         *edgePolicy,
+			PrefetchBudget: *edgePrefetch,
+		}
+		if *edgeChaos != "" {
+			sc, err := faultinject.Lookup(*edgeChaos)
+			if err != nil {
+				log.Fatalf("crawl: %v", err)
+			}
+			edgeInj = faultinject.New(sc.Scale(*chaosScale), *chaosSeed, nil)
+			ecfg.OriginTransport = edgeInj.RoundTripper(&http.Transport{MaxIdleConnsPerHost: 16})
+			ecfg.OriginRetries = 8
+			log.Printf("crawl: chaos scenario %q armed on the edge->origin leg (seed %d)", *edgeChaos, *chaosSeed)
+		}
+		var err error
+		edge, err = edgecache.New(ecfg)
+		if err != nil {
+			log.Fatalf("crawl: %v", err)
+		}
+		defer edge.Close()
+		es := httptest.NewServer(edge.Handler())
+		defer es.Close()
+		base = es.URL
+		log.Printf("crawl: routing through an in-process %s edge cache (%d MiB) at %s", *edgePolicy, *edgeMB, base)
 	}
 
 	cfg := crawler.DefaultConfig(base)
@@ -161,6 +202,15 @@ func main() {
 	for i, inj := range nodeInjs {
 		if n := inj.InjectedTotal(); n > 0 {
 			log.Printf("crawl: chaos: proxy node %d injected %d faults", i, n)
+		}
+	}
+	if edge != nil {
+		est := edge.Stats()
+		log.Printf("crawl: edge: %d requests, %.1f%% hit, %.1f%% served from edge, %.1f%% origin offload (%d revalidated, %d stale, %d coalesced)",
+			est.Requests, est.HitRate(), est.CacheServeRate(), est.OriginOffload(),
+			est.Revalidated, est.StaleServed, est.Coalesced)
+		if edgeInj != nil {
+			log.Printf("crawl: chaos: %d faults injected on the edge->origin leg", edgeInj.InjectedTotal())
 		}
 	}
 	log.Printf("crawl: wrote %s (%d apps, %d comments)", *out, c.DB().NumApps(), c.DB().NumComments())

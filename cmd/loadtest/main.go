@@ -32,6 +32,7 @@ import (
 	"net/http"
 
 	"planetapps/internal/catalog"
+	"planetapps/internal/edgecache"
 	"planetapps/internal/faultinject"
 	"planetapps/internal/loadgen"
 	"planetapps/internal/resilient"
@@ -73,6 +74,12 @@ func main() {
 
 		dayRoll = flag.Duration("day-roll", 0, "day-roll scenario: advance the in-process store one day this long into the measured window and report pre/post-swap latency separately (0 = off)")
 		prewarm = flag.Int("prewarm", 0, "in-process store: pre-encode this many hot documents after each day roll (0 = off)")
+
+		edge         = flag.Bool("edge", false, "front the target with an in-process edge-cache tier and drive load through it")
+		edgePolicy   = flag.String("edge-policy", "lru", "edge replacement policy: lru, 2q, category")
+		edgeMB       = flag.Float64("edge-mb", 64, "edge cache budget in MiB")
+		edgePrefetch = flag.Int("edge-prefetch", 0, "edge prefetch-warming budget per detail request (0 = off)")
+		originFresh  = flag.Duration("origin-fresh", 0, "in-process store: declare /api/v1 responses fresh for this long (0 = always revalidate)")
 
 		apiVer     = flag.String("api", "legacy", "API surface to drive: legacy (/api) or v1 (/api/v1)")
 		chaos      = flag.String("chaos", "", "arm a fault-injection scenario on the in-process store: "+strings.Join(faultinject.Names(), ", "))
@@ -119,6 +126,7 @@ func main() {
 			RatePerSec:  *serverRate,
 			Burst:       *serverBurst,
 			PrewarmDocs: *prewarm,
+			FreshFor:    *originFresh,
 		})
 		if *chaos != "" {
 			sc, err := faultinject.Lookup(*chaos)
@@ -140,6 +148,30 @@ func main() {
 	}
 	if *apps == 0 {
 		*apps = 5000
+	}
+
+	// The edge tier fronts whatever target was resolved above; the load
+	// generator then drives the edge, and the origin only sees misses,
+	// revalidations, and prefetch warming.
+	var edgeSrv *edgecache.Server
+	if *edge {
+		es, err := edgecache.New(edgecache.Config{
+			Origin:         baseURL,
+			CapacityBytes:  int64(*edgeMB * (1 << 20)),
+			Policy:         *edgePolicy,
+			PrefetchBudget: *edgePrefetch,
+			Seed:           *seed,
+		})
+		if err != nil {
+			log.Fatalf("loadtest: edge: %v", err)
+		}
+		edgeSrv = es
+		defer es.Close()
+		ets := httptest.NewServer(es.Handler())
+		defer ets.Close()
+		baseURL = ets.URL
+		log.Printf("loadtest: driving through an in-process %s edge cache (%.1f MiB) at %s",
+			*edgePolicy, *edgeMB, baseURL)
 	}
 
 	// Build the workload source factory: each run gets a fresh source over
@@ -247,6 +279,19 @@ func main() {
 					m, dr.AtSec, dr.RollMS, c.PreRollMS.P99, c.PreRollCount, c.PostRollMS.P99, c.PostRollCount)
 			}
 		}
+	}
+	if edgeSrv != nil {
+		est := edgeSrv.Stats()
+		combined["edge"] = map[string]any{
+			"stats":            est,
+			"hit_rate":         est.HitRate(),
+			"cache_serve_rate": est.CacheServeRate(),
+			"origin_offload":   est.OriginOffload(),
+			"byte_offload":     est.ByteOffload(),
+		}
+		log.Printf("loadtest: edge: %d requests, %.1f%% hit, %.1f%% served from edge, %.1f%% origin offload, %.1f%% byte offload (%d evictions, %d prefetch fills/%d useful)",
+			est.Requests, est.HitRate(), est.CacheServeRate(), est.OriginOffload(), est.ByteOffload(),
+			est.Evictions, est.PrefetchFills, est.PrefetchHits)
 	}
 	if srv != nil {
 		combined["server"] = map[string]any{

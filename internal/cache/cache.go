@@ -7,6 +7,12 @@
 // a category-aware partitioned-LFU policy (the "new replacement policies"
 // the paper calls for), which allocates capacity to categories by their
 // observed traffic share.
+//
+// Every policy accounts capacity in abstract cost units. The offline
+// simulators access entries at cost 1, so capacity means "number of apps"
+// and the behavior is identical to a pure entry-count cache; the live edge
+// tier (internal/edgecache) accesses entries at their encoded byte size, so
+// the same policies size a cache in bytes.
 package cache
 
 import (
@@ -15,32 +21,69 @@ import (
 )
 
 // Policy is a cache replacement policy over app identifiers. Implementations
-// are single-goroutine simulation structures, not concurrent caches.
+// are single-goroutine simulation structures, not concurrent caches; a
+// concurrent caller (the edge tier) serializes access externally.
 type Policy interface {
 	// Name identifies the policy in reports.
 	Name() string
-	// Access records a request for app id and reports whether it hit.
-	// On a miss the app is admitted, evicting per policy when full.
+	// Access records a unit-cost request for id and reports whether it
+	// hit. Equivalent to AccessCost(id, 1). On a miss the app is admitted,
+	// evicting per policy when full.
 	Access(id int32) bool
+	// AccessCost records a request for id with the given residency cost
+	// (bytes for the edge tier, 1 for the simulators) and reports whether
+	// it hit. On a miss the app is admitted — evicting entries per policy
+	// until it fits — unless cost alone exceeds the total capacity, in
+	// which case nothing is cached. A hit whose cost differs from the
+	// resident cost re-accounts the entry and trims overflow. cost < 1 is
+	// treated as 1.
+	AccessCost(id int32, cost int64) bool
 	// Len returns the number of cached apps.
 	Len() int
+	// Cost returns the summed residency cost of the cached apps. Equals
+	// Len() when every access was unit-cost.
+	Cost() int64
 	// Contains reports whether the app is currently cached.
 	Contains(id int32) bool
+	// OnEvict registers fn to be called with each id the policy removes to
+	// make room (not for ids merely rejected on admission). At most one
+	// hook is active; nil clears it.
+	OnEvict(fn func(id int32))
+}
+
+// costItem is a resident entry in the list-based policies: the id plus the
+// cost it was admitted (or last re-accounted) at.
+type costItem struct {
+	id   int32
+	cost int64
+}
+
+// mapHint bounds the initial item-map size: at unit cost the capacity is
+// an exact entry count, but a byte budget (tens of MiB) would preallocate
+// a map for millions of entries that can never all be resident.
+func mapHint(capacity int) int {
+	const maxHint = 1 << 16
+	if capacity > maxHint {
+		return maxHint
+	}
+	return capacity
 }
 
 // LRU is a least-recently-used cache.
 type LRU struct {
-	cap   int
-	ll    *list.List              // front = most recent
-	items map[int32]*list.Element // id -> element (Value = id)
+	cap     int64
+	used    int64
+	ll      *list.List              // front = most recent
+	items   map[int32]*list.Element // id -> element (Value = *costItem)
+	onEvict func(int32)
 }
 
-// NewLRU creates an LRU cache holding up to capacity apps.
+// NewLRU creates an LRU cache holding up to capacity cost units.
 func NewLRU(capacity int) *LRU {
 	if capacity < 1 {
 		panic(fmt.Sprintf("cache: LRU capacity %d", capacity))
 	}
-	return &LRU{cap: capacity, ll: list.New(), items: make(map[int32]*list.Element, capacity)}
+	return &LRU{cap: int64(capacity), ll: list.New(), items: make(map[int32]*list.Element, mapHint(capacity))}
 }
 
 // Name implements Policy.
@@ -49,22 +92,72 @@ func (c *LRU) Name() string { return "LRU" }
 // Len implements Policy.
 func (c *LRU) Len() int { return c.ll.Len() }
 
+// Cost implements Policy.
+func (c *LRU) Cost() int64 { return c.used }
+
 // Contains implements Policy.
 func (c *LRU) Contains(id int32) bool { _, ok := c.items[id]; return ok }
 
+// OnEvict implements Policy.
+func (c *LRU) OnEvict(fn func(int32)) { c.onEvict = fn }
+
 // Access implements Policy.
-func (c *LRU) Access(id int32) bool {
+func (c *LRU) Access(id int32) bool { return c.AccessCost(id, 1) }
+
+// AccessCost implements Policy.
+func (c *LRU) AccessCost(id int32, cost int64) bool {
+	if cost < 1 {
+		cost = 1
+	}
 	if e, ok := c.items[id]; ok {
 		c.ll.MoveToFront(e)
+		it := e.Value.(*costItem)
+		if it.cost != cost {
+			c.used += cost - it.cost
+			it.cost = cost
+			c.trim(id)
+		}
 		return true
 	}
-	if c.ll.Len() >= c.cap {
-		back := c.ll.Back()
-		c.ll.Remove(back)
-		delete(c.items, back.Value.(int32))
+	if cost > c.cap {
+		return false // larger than the whole cache: not admitted
 	}
-	c.items[id] = c.ll.PushFront(id)
+	for c.used+cost > c.cap {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		c.remove(back)
+	}
+	c.items[id] = c.ll.PushFront(&costItem{id: id, cost: cost})
+	c.used += cost
 	return false
+}
+
+// trim evicts from the LRU tail until the cache fits again, touching keep
+// (necessarily at the front) only when it is the sole remaining entry.
+func (c *LRU) trim(keep int32) {
+	for c.used > c.cap {
+		back := c.ll.Back()
+		if back == nil {
+			return
+		}
+		evicted := back.Value.(*costItem).id
+		c.remove(back)
+		if evicted == keep {
+			return
+		}
+	}
+}
+
+func (c *LRU) remove(e *list.Element) {
+	it := e.Value.(*costItem)
+	c.ll.Remove(e)
+	delete(c.items, it.id)
+	c.used -= it.cost
+	if c.onEvict != nil {
+		c.onEvict(it.id)
+	}
 }
 
 // Warm preloads the cache with the given apps in order of descending
@@ -73,8 +166,8 @@ func (c *LRU) Access(id int32) bool {
 // most popular apps.
 func (c *LRU) Warm(ids []int32) {
 	n := len(ids)
-	if n > c.cap {
-		n = c.cap
+	if int64(n) > c.cap {
+		n = int(c.cap)
 	}
 	for i := n - 1; i >= 0; i-- {
 		c.Access(ids[i])
@@ -83,17 +176,19 @@ func (c *LRU) Warm(ids []int32) {
 
 // FIFO evicts in insertion order regardless of use.
 type FIFO struct {
-	cap   int
-	ll    *list.List
-	items map[int32]*list.Element
+	cap     int64
+	used    int64
+	ll      *list.List
+	items   map[int32]*list.Element
+	onEvict func(int32)
 }
 
-// NewFIFO creates a FIFO cache holding up to capacity apps.
+// NewFIFO creates a FIFO cache holding up to capacity cost units.
 func NewFIFO(capacity int) *FIFO {
 	if capacity < 1 {
 		panic(fmt.Sprintf("cache: FIFO capacity %d", capacity))
 	}
-	return &FIFO{cap: capacity, ll: list.New(), items: make(map[int32]*list.Element, capacity)}
+	return &FIFO{cap: int64(capacity), ll: list.New(), items: make(map[int32]*list.Element, mapHint(capacity))}
 }
 
 // Name implements Policy.
@@ -102,27 +197,79 @@ func (c *FIFO) Name() string { return "FIFO" }
 // Len implements Policy.
 func (c *FIFO) Len() int { return c.ll.Len() }
 
+// Cost implements Policy.
+func (c *FIFO) Cost() int64 { return c.used }
+
 // Contains implements Policy.
 func (c *FIFO) Contains(id int32) bool { _, ok := c.items[id]; return ok }
 
+// OnEvict implements Policy.
+func (c *FIFO) OnEvict(fn func(int32)) { c.onEvict = fn }
+
 // Access implements Policy.
-func (c *FIFO) Access(id int32) bool {
-	if _, ok := c.items[id]; ok {
+func (c *FIFO) Access(id int32) bool { return c.AccessCost(id, 1) }
+
+// AccessCost implements Policy.
+func (c *FIFO) AccessCost(id int32, cost int64) bool {
+	if cost < 1 {
+		cost = 1
+	}
+	if e, ok := c.items[id]; ok {
+		it := e.Value.(*costItem)
+		if it.cost != cost {
+			c.used += cost - it.cost
+			it.cost = cost
+			c.trim(id)
+		}
 		return true
 	}
-	if c.ll.Len() >= c.cap {
-		back := c.ll.Back()
-		c.ll.Remove(back)
-		delete(c.items, back.Value.(int32))
+	if cost > c.cap {
+		return false
 	}
-	c.items[id] = c.ll.PushFront(id)
+	for c.used+cost > c.cap {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		c.remove(back)
+	}
+	c.items[id] = c.ll.PushFront(&costItem{id: id, cost: cost})
+	c.used += cost
 	return false
+}
+
+// trim evicts in FIFO order until the cache fits, skipping keep unless it
+// is the only entry left.
+func (c *FIFO) trim(keep int32) {
+	for c.used > c.cap {
+		v := c.ll.Back()
+		if v == nil {
+			return
+		}
+		if v.Value.(*costItem).id == keep {
+			if v = v.Prev(); v == nil {
+				c.remove(c.ll.Back())
+				return
+			}
+		}
+		c.remove(v)
+	}
+}
+
+func (c *FIFO) remove(e *list.Element) {
+	it := e.Value.(*costItem)
+	c.ll.Remove(e)
+	delete(c.items, it.id)
+	c.used -= it.cost
+	if c.onEvict != nil {
+		c.onEvict(it.id)
+	}
 }
 
 // Warm preloads the cache (first id admitted first).
 func (c *FIFO) Warm(ids []int32) {
 	for _, id := range ids {
-		if c.ll.Len() >= c.cap {
+		if c.used >= c.cap {
 			break
 		}
 		c.Access(id)
@@ -132,9 +279,11 @@ func (c *FIFO) Warm(ids []int32) {
 // LFU evicts the least-frequently-used app, breaking ties by recency.
 // Implemented with the standard O(1) frequency-list structure.
 type LFU struct {
-	cap   int
-	freqs *list.List // of *freqBucket, ascending frequency
-	items map[int32]*lfuEntry
+	cap     int64
+	used    int64
+	freqs   *list.List // of *freqBucket, ascending frequency
+	items   map[int32]*lfuEntry
+	onEvict func(int32)
 }
 
 type freqBucket struct {
@@ -145,14 +294,15 @@ type freqBucket struct {
 type lfuEntry struct {
 	bucket *list.Element // into freqs
 	elem   *list.Element // into bucket.entries
+	cost   int64
 }
 
-// NewLFU creates an LFU cache holding up to capacity apps.
+// NewLFU creates an LFU cache holding up to capacity cost units.
 func NewLFU(capacity int) *LFU {
 	if capacity < 1 {
 		panic(fmt.Sprintf("cache: LFU capacity %d", capacity))
 	}
-	return &LFU{cap: capacity, freqs: list.New(), items: make(map[int32]*lfuEntry, capacity)}
+	return &LFU{cap: int64(capacity), freqs: list.New(), items: make(map[int32]*lfuEntry, mapHint(capacity))}
 }
 
 // Name implements Policy.
@@ -161,16 +311,36 @@ func (c *LFU) Name() string { return "LFU" }
 // Len implements Policy.
 func (c *LFU) Len() int { return len(c.items) }
 
+// Cost implements Policy.
+func (c *LFU) Cost() int64 { return c.used }
+
 // Contains implements Policy.
 func (c *LFU) Contains(id int32) bool { _, ok := c.items[id]; return ok }
 
+// OnEvict implements Policy.
+func (c *LFU) OnEvict(fn func(int32)) { c.onEvict = fn }
+
 // Access implements Policy.
-func (c *LFU) Access(id int32) bool {
+func (c *LFU) Access(id int32) bool { return c.AccessCost(id, 1) }
+
+// AccessCost implements Policy.
+func (c *LFU) AccessCost(id int32, cost int64) bool {
+	if cost < 1 {
+		cost = 1
+	}
 	if e, ok := c.items[id]; ok {
 		c.promote(id, e)
+		if e.cost != cost {
+			c.used += cost - e.cost
+			e.cost = cost
+			c.trim(id)
+		}
 		return true
 	}
-	if len(c.items) >= c.cap {
+	if cost > c.cap {
+		return false
+	}
+	for c.used+cost > c.cap && len(c.items) > 0 {
 		c.evict()
 	}
 	// Insert at frequency 1.
@@ -179,7 +349,8 @@ func (c *LFU) Access(id int32) bool {
 		front = c.freqs.PushFront(&freqBucket{freq: 1, entries: list.New()})
 	}
 	b := front.Value.(*freqBucket)
-	c.items[id] = &lfuEntry{bucket: front, elem: b.entries.PushFront(id)}
+	c.items[id] = &lfuEntry{bucket: front, elem: b.entries.PushFront(id), cost: cost}
+	c.used += cost
 	return false
 }
 
@@ -208,19 +379,53 @@ func (c *LFU) evict() {
 	}
 	b := front.Value.(*freqBucket)
 	victim := b.entries.Back() // least recent within lowest frequency
+	c.removeVictim(front, b, victim)
+}
+
+func (c *LFU) removeVictim(fb *list.Element, b *freqBucket, victim *list.Element) {
+	id := victim.Value.(int32)
 	b.entries.Remove(victim)
 	if b.entries.Len() == 0 {
-		c.freqs.Remove(front)
+		c.freqs.Remove(fb)
 	}
-	delete(c.items, victim.Value.(int32))
+	c.used -= c.items[id].cost
+	delete(c.items, id)
+	if c.onEvict != nil {
+		c.onEvict(id)
+	}
+}
+
+// trim evicts in LFU order until the cache fits, sparing keep until it is
+// the only entry left.
+func (c *LFU) trim(keep int32) {
+	for c.used > c.cap && len(c.items) > 1 {
+		c.evictExcept(keep)
+	}
+	if c.used > c.cap && len(c.items) == 1 {
+		c.evict() // keep alone exceeds capacity
+	}
+}
+
+// evictExcept removes the least-frequently-used entry other than keep.
+func (c *LFU) evictExcept(keep int32) {
+	for fb := c.freqs.Front(); fb != nil; fb = fb.Next() {
+		b := fb.Value.(*freqBucket)
+		for v := b.entries.Back(); v != nil; v = v.Prev() {
+			if v.Value.(int32) == keep {
+				continue
+			}
+			c.removeVictim(fb, b, v)
+			return
+		}
+	}
 }
 
 // Warm preloads the first min(capacity, len(ids)) apps at frequency 1,
 // ids[0] most recent.
 func (c *LFU) Warm(ids []int32) {
 	n := len(ids)
-	if n > c.cap {
-		n = c.cap
+	if int64(n) > c.cap {
+		n = int(c.cap)
 	}
 	for i := n - 1; i >= 0; i-- {
 		c.Access(ids[i])

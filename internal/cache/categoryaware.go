@@ -19,29 +19,35 @@ import (
 // category's churn from displacing another category's stable head, which
 // a single global recency list cannot guarantee.
 type CategoryAware struct {
-	cap        int
+	cap        int64
+	used       int64
 	rebalance  int
 	categoryOf func(int32) int32
 
 	items    map[int32]*caEntry
 	segments map[int32]map[int32]*caEntry
+	segCost  map[int32]int64 // per-category resident cost
 	seq      int64
 
 	counts  map[int32]int64 // per-category request counts
 	total   int64
 	sinceRe int
-	targets map[int32]int
+	targets map[int32]int64 // per-category capacity share, in cost units
+
+	onEvict func(int32)
 }
 
 type caEntry struct {
 	cat     int32
 	count   int64
 	lastUse int64
+	cost    int64
 }
 
 // CategoryAwareConfig configures the policy.
 type CategoryAwareConfig struct {
-	// Capacity is the total number of apps the cache holds.
+	// Capacity is the total cost the cache holds (number of apps at unit
+	// cost, bytes for the edge tier).
 	Capacity int
 	// CategoryOf maps app id to category id.
 	CategoryOf func(int32) int32
@@ -64,13 +70,14 @@ func NewCategoryAware(cfg CategoryAwareConfig) *CategoryAware {
 		re = cfg.Capacity
 	}
 	return &CategoryAware{
-		cap:        cfg.Capacity,
+		cap:        int64(cfg.Capacity),
 		rebalance:  re,
 		categoryOf: cfg.CategoryOf,
 		items:      map[int32]*caEntry{},
 		segments:   map[int32]map[int32]*caEntry{},
+		segCost:    map[int32]int64{},
 		counts:     map[int32]int64{},
-		targets:    map[int32]int{},
+		targets:    map[int32]int64{},
 	}
 }
 
@@ -80,14 +87,26 @@ func (c *CategoryAware) Name() string { return "CategoryAware" }
 // Len implements Policy.
 func (c *CategoryAware) Len() int { return len(c.items) }
 
+// Cost implements Policy.
+func (c *CategoryAware) Cost() int64 { return c.used }
+
 // Contains implements Policy.
 func (c *CategoryAware) Contains(id int32) bool {
 	_, ok := c.items[id]
 	return ok
 }
 
+// OnEvict implements Policy.
+func (c *CategoryAware) OnEvict(fn func(int32)) { c.onEvict = fn }
+
 // Access implements Policy.
-func (c *CategoryAware) Access(id int32) bool {
+func (c *CategoryAware) Access(id int32) bool { return c.AccessCost(id, 1) }
+
+// AccessCost implements Policy.
+func (c *CategoryAware) AccessCost(id int32, cost int64) bool {
+	if cost < 1 {
+		cost = 1
+	}
 	cat := c.categoryOf(id)
 	c.counts[cat]++
 	c.total++
@@ -100,12 +119,21 @@ func (c *CategoryAware) Access(id int32) bool {
 	if e, ok := c.items[id]; ok {
 		e.count++
 		e.lastUse = c.seq
+		if e.cost != cost {
+			c.used += cost - e.cost
+			c.segCost[e.cat] += cost - e.cost
+			e.cost = cost
+			c.trim(id)
+		}
 		return true
 	}
-	if len(c.items) >= c.cap {
-		c.evict(cat)
+	if cost > c.cap {
+		return false
 	}
-	e := &caEntry{cat: cat, count: 1, lastUse: c.seq}
+	for c.used+cost > c.cap && len(c.items) > 0 {
+		c.evict(cat, cost)
+	}
+	e := &caEntry{cat: cat, count: 1, lastUse: c.seq, cost: cost}
 	c.items[id] = e
 	seg := c.segments[cat]
 	if seg == nil {
@@ -113,12 +141,14 @@ func (c *CategoryAware) Access(id int32) bool {
 		c.segments[cat] = seg
 	}
 	seg[id] = e
+	c.segCost[cat] += cost
+	c.used += cost
 	return false
 }
 
 // recomputeTargets reallocates capacity proportionally to observed traffic,
-// guaranteeing at least one slot to every category seen so far and giving
-// leftover slots to the busiest category.
+// guaranteeing at least one cost unit to every category seen so far and
+// giving leftover capacity to the busiest category.
 func (c *CategoryAware) recomputeTargets() {
 	if c.total == 0 {
 		return
@@ -126,11 +156,11 @@ func (c *CategoryAware) recomputeTargets() {
 	for cat := range c.targets {
 		delete(c.targets, cat)
 	}
-	assigned := 0
+	var assigned int64
 	var maxCat int32
 	var maxCount int64 = -1
 	for cat, n := range c.counts {
-		t := int(float64(c.cap) * float64(n) / float64(c.total))
+		t := int64(float64(c.cap) * float64(n) / float64(c.total))
 		if t < 1 {
 			t = 1
 		}
@@ -148,24 +178,39 @@ func (c *CategoryAware) recomputeTargets() {
 }
 
 // evict removes the least-frequently-used app (ties by least recent) from
-// the most over-target segment; the inserting category is handicapped so it
-// can grow toward its own target.
-func (c *CategoryAware) evict(inserting int32) {
+// the most over-target segment; the inserting category is handicapped by
+// the incoming cost so it can grow toward its own target.
+func (c *CategoryAware) evict(inserting int32, insertingCost int64) {
+	seg, found := c.pickSegment(inserting, insertingCost)
+	if !found {
+		return
+	}
+	var victim int32
+	var ve *caEntry
+	for id, e := range seg {
+		if ve == nil || e.count < ve.count || (e.count == ve.count && e.lastUse < ve.lastUse) {
+			victim, ve = id, e
+		}
+	}
+	c.remove(victim, ve)
+}
+
+// pickSegment chooses the most over-target non-empty segment.
+func (c *CategoryAware) pickSegment(inserting int32, insertingCost int64) (map[int32]*caEntry, bool) {
 	var victimSeg int32
-	bestOver := -1 << 30
+	var bestOver int64 = -1 << 62
 	found := false
 	for cat, seg := range c.segments {
-		n := len(seg)
-		if n == 0 {
+		if len(seg) == 0 {
 			continue
 		}
 		target := c.targets[cat]
 		if target == 0 {
 			target = 1
 		}
-		over := n - target
+		over := c.segCost[cat] - target
 		if cat == inserting {
-			over--
+			over -= insertingCost
 		}
 		// Tie-break on the lower category id, for the same reason as
 		// recomputeTargets: equal-pressure segments must yield the same
@@ -175,26 +220,78 @@ func (c *CategoryAware) evict(inserting int32) {
 		}
 	}
 	if !found {
-		return
+		return nil, false
 	}
-	seg := c.segments[victimSeg]
-	var victim int32
-	var ve *caEntry
-	for id, e := range seg {
-		if ve == nil || e.count < ve.count || (e.count == ve.count && e.lastUse < ve.lastUse) {
-			victim, ve = id, e
+	return c.segments[victimSeg], true
+}
+
+func (c *CategoryAware) remove(id int32, e *caEntry) {
+	delete(c.segments[e.cat], id)
+	delete(c.items, id)
+	c.segCost[e.cat] -= e.cost
+	c.used -= e.cost
+	if c.onEvict != nil {
+		c.onEvict(id)
+	}
+}
+
+// trim restores the capacity invariant after a resident entry's cost grew,
+// sparing keep until it is the only entry left.
+func (c *CategoryAware) trim(keep int32) {
+	for c.used > c.cap && len(c.items) > 1 {
+		if !c.evictExcept(keep) {
+			break
 		}
 	}
-	delete(seg, victim)
-	delete(c.items, victim)
+	if c.used > c.cap && len(c.items) == 1 {
+		if e, ok := c.items[keep]; ok { // keep alone exceeds capacity
+			c.remove(keep, e)
+		}
+	}
+}
+
+// evictExcept evicts the best victim other than keep, scanning all
+// segments by over-target pressure.
+func (c *CategoryAware) evictExcept(keep int32) bool {
+	var victim int32
+	var ve *caEntry
+	var bestOver int64 = -1 << 62
+	for cat, seg := range c.segments {
+		target := c.targets[cat]
+		if target == 0 {
+			target = 1
+		}
+		over := c.segCost[cat] - target
+		var segVictim int32
+		var segVe *caEntry
+		for id, e := range seg {
+			if id == keep {
+				continue
+			}
+			if segVe == nil || e.count < segVe.count || (e.count == segVe.count && e.lastUse < segVe.lastUse) {
+				segVictim, segVe = id, e
+			}
+		}
+		if segVe == nil {
+			continue
+		}
+		if over > bestOver || (over == bestOver && ve != nil && cat < ve.cat) {
+			bestOver, victim, ve = over, segVictim, segVe
+		}
+	}
+	if ve == nil {
+		return false
+	}
+	c.remove(victim, ve)
+	return true
 }
 
 // Warm preloads the first min(capacity, len(ids)) apps at frequency 1,
 // ids[0] most recently used.
 func (c *CategoryAware) Warm(ids []int32) {
 	n := len(ids)
-	if n > c.cap {
-		n = c.cap
+	if int64(n) > c.cap {
+		n = int(c.cap)
 	}
 	for i := n - 1; i >= 0; i-- {
 		c.Access(ids[i])

@@ -13,16 +13,23 @@ import (
 // protected set — a useful contrast policy for the clustering workload,
 // where a large fraction of requests are one-time tail downloads.
 type TwoQ struct {
-	cap      int
-	inCap    int
-	ghostCap int
+	cap   int64
+	inCap int64 // classic 25% probation sizing, in cost units
+	used  int64
 
-	in    *list.List // probation FIFO, front = newest
-	am    *list.List // protected LRU, front = most recent
-	ghost *list.List // ghost FIFO of evicted-probation ids
+	in    *list.List // probation FIFO, front = newest (Value = *costItem)
+	am    *list.List // protected LRU, front = most recent (Value = *costItem)
+	ghost *list.List // ghost FIFO of evicted-probation entries (Value = *costItem)
 
 	items  map[int32]*twoqEntry
 	ghosts map[int32]*list.Element
+
+	// ghostCost bounds the ghost list: it remembers at most one full
+	// capacity's worth of evicted cost (at unit cost: `capacity` ids,
+	// exactly the classic full-capacity ghost sizing).
+	ghostCost int64
+
+	onEvict func(int32)
 }
 
 type twoqEntry struct {
@@ -31,25 +38,24 @@ type twoqEntry struct {
 	where int8 // 0 = in, 1 = am
 }
 
-// NewTwoQ creates a 2Q cache holding up to capacity apps, with the classic
-// 25% probation / full-capacity ghost sizing.
+// NewTwoQ creates a 2Q cache holding up to capacity cost units, with the
+// classic 25% probation / full-capacity ghost sizing.
 func NewTwoQ(capacity int) *TwoQ {
 	if capacity < 2 {
 		panic(fmt.Sprintf("cache: TwoQ capacity %d", capacity))
 	}
-	inCap := capacity / 4
+	inCap := int64(capacity / 4)
 	if inCap < 1 {
 		inCap = 1
 	}
 	return &TwoQ{
-		cap:      capacity,
-		inCap:    inCap,
-		ghostCap: capacity,
-		in:       list.New(),
-		am:       list.New(),
-		ghost:    list.New(),
-		items:    map[int32]*twoqEntry{},
-		ghosts:   map[int32]*list.Element{},
+		cap:    int64(capacity),
+		inCap:  inCap,
+		in:     list.New(),
+		am:     list.New(),
+		ghost:  list.New(),
+		items:  map[int32]*twoqEntry{},
+		ghosts: map[int32]*list.Element{},
 	}
 }
 
@@ -59,57 +65,128 @@ func (c *TwoQ) Name() string { return "2Q" }
 // Len implements Policy.
 func (c *TwoQ) Len() int { return len(c.items) }
 
+// Cost implements Policy.
+func (c *TwoQ) Cost() int64 { return c.used }
+
 // Contains implements Policy.
 func (c *TwoQ) Contains(id int32) bool {
 	_, ok := c.items[id]
 	return ok
 }
 
+// OnEvict implements Policy.
+func (c *TwoQ) OnEvict(fn func(int32)) { c.onEvict = fn }
+
 // Access implements Policy.
-func (c *TwoQ) Access(id int32) bool {
+func (c *TwoQ) Access(id int32) bool { return c.AccessCost(id, 1) }
+
+// AccessCost implements Policy.
+func (c *TwoQ) AccessCost(id int32, cost int64) bool {
+	if cost < 1 {
+		cost = 1
+	}
 	if e, ok := c.items[id]; ok {
 		if e.where == 1 {
 			c.am.MoveToFront(e.elem)
 		}
 		// Probation hits do not promote in classic 2Q (only ghost hits
 		// prove re-reference beyond the FIFO window).
+		it := e.elem.Value.(*costItem)
+		if it.cost != cost {
+			c.used += cost - it.cost
+			it.cost = cost
+			c.trim(id)
+		}
 		return true
+	}
+	if cost > c.cap {
+		return false
 	}
 	if g, ok := c.ghosts[id]; ok {
 		// Re-referenced after probation eviction: admit to protected.
+		c.ghostCost -= g.Value.(*costItem).cost
 		c.ghost.Remove(g)
 		delete(c.ghosts, id)
-		c.makeRoom()
-		c.items[id] = &twoqEntry{elem: c.am.PushFront(id), where: 1}
+		c.makeRoom(cost)
+		c.items[id] = &twoqEntry{elem: c.am.PushFront(&costItem{id: id, cost: cost}), where: 1}
+		c.used += cost
 		return false
 	}
 	// First sighting: probation.
-	c.makeRoom()
-	c.items[id] = &twoqEntry{elem: c.in.PushFront(id), where: 0}
+	c.makeRoom(cost)
+	c.items[id] = &twoqEntry{elem: c.in.PushFront(&costItem{id: id, cost: cost}), where: 0}
+	c.used += cost
 	return false
 }
 
-// makeRoom evicts one resident app if the cache is full: prefer the oldest
-// probation entry (remembering it as a ghost), else the protected LRU tail.
-func (c *TwoQ) makeRoom() {
-	if len(c.items) < c.cap {
-		// Still trim probation to its sub-capacity so the protected set
-		// can use the rest.
-		if c.in.Len() > c.inCap && len(c.items) >= c.cap {
+// makeRoom evicts resident apps until cost more units fit: prefer the
+// oldest probation entry (remembering it as a ghost), else the protected
+// LRU tail. Below capacity it is a no-op — probation is not trimmed to its
+// sub-capacity while the cache has room.
+func (c *TwoQ) makeRoom(cost int64) {
+	for c.used+cost > c.cap && len(c.items) > 0 {
+		if c.in.Len() > 0 {
 			c.evictProbation()
+			continue
 		}
-		return
+		back := c.am.Back()
+		if back == nil {
+			return
+		}
+		c.removeResident(c.am, back)
 	}
-	if c.in.Len() > 0 {
-		c.evictProbation()
-		return
+}
+
+// trim restores the capacity invariant after a resident entry's cost grew,
+// sparing keep until it is the only entry left.
+func (c *TwoQ) trim(keep int32) {
+	for c.used > c.cap && len(c.items) > 1 {
+		if !c.evictExcept(keep) {
+			break
+		}
 	}
-	back := c.am.Back()
-	if back == nil {
-		return
+	if c.used > c.cap && len(c.items) == 1 {
+		if e, ok := c.items[keep]; ok { // keep alone exceeds capacity
+			q := c.in
+			if e.where == 1 {
+				q = c.am
+			}
+			c.removeResident(q, e.elem)
+		}
 	}
-	c.am.Remove(back)
-	delete(c.items, back.Value.(int32))
+}
+
+// evictExcept evicts one resident entry other than keep, probation first.
+func (c *TwoQ) evictExcept(keep int32) bool {
+	if v := backExcept(c.in, keep); v != nil {
+		c.evictProbationElem(v)
+		return true
+	}
+	if v := backExcept(c.am, keep); v != nil {
+		c.removeResident(c.am, v)
+		return true
+	}
+	return false
+}
+
+// backExcept returns the back-most element whose id differs from keep.
+func backExcept(ll *list.List, keep int32) *list.Element {
+	for v := ll.Back(); v != nil; v = v.Prev() {
+		if v.Value.(*costItem).id != keep {
+			return v
+		}
+	}
+	return nil
+}
+
+func (c *TwoQ) removeResident(ll *list.List, e *list.Element) {
+	it := e.Value.(*costItem)
+	ll.Remove(e)
+	delete(c.items, it.id)
+	c.used -= it.cost
+	if c.onEvict != nil {
+		c.onEvict(it.id)
+	}
 }
 
 func (c *TwoQ) evictProbation() {
@@ -117,15 +194,21 @@ func (c *TwoQ) evictProbation() {
 	if back == nil {
 		return
 	}
-	id := back.Value.(int32)
-	c.in.Remove(back)
-	delete(c.items, id)
-	// Remember in the ghost list.
-	c.ghosts[id] = c.ghost.PushFront(id)
-	for c.ghost.Len() > c.ghostCap {
+	c.evictProbationElem(back)
+}
+
+func (c *TwoQ) evictProbationElem(e *list.Element) {
+	it := e.Value.(*costItem)
+	c.removeResident(c.in, e)
+	// Remember in the ghost list at the cost it was resident at.
+	c.ghosts[it.id] = c.ghost.PushFront(it)
+	c.ghostCost += it.cost
+	for c.ghostCost > c.cap {
 		old := c.ghost.Back()
+		oit := old.Value.(*costItem)
 		c.ghost.Remove(old)
-		delete(c.ghosts, old.Value.(int32))
+		delete(c.ghosts, oit.id)
+		c.ghostCost -= oit.cost
 	}
 }
 
@@ -133,14 +216,15 @@ func (c *TwoQ) evictProbation() {
 // LRU (they are known-popular), ids[0] most recent.
 func (c *TwoQ) Warm(ids []int32) {
 	n := len(ids)
-	if n > c.cap {
-		n = c.cap
+	if int64(n) > c.cap {
+		n = int(c.cap)
 	}
 	for i := n - 1; i >= 0; i-- {
 		if c.Contains(ids[i]) {
 			continue
 		}
-		c.makeRoom()
-		c.items[ids[i]] = &twoqEntry{elem: c.am.PushFront(ids[i]), where: 1}
+		c.makeRoom(1)
+		c.items[ids[i]] = &twoqEntry{elem: c.am.PushFront(&costItem{id: ids[i], cost: 1}), where: 1}
+		c.used++
 	}
 }

@@ -42,6 +42,28 @@ type ErrorJSON struct {
 // isV1 reports whether the request targets the versioned API surface.
 func isV1(path string) bool { return strings.HasPrefix(path, "/api/v1/") }
 
+// freshness stamps the v1 freshness headers. With a scheduled day-roll
+// cadence (Config.DayInterval) every response claims the full interval as
+// max-age and an Age counted from the serving snapshot's publish, so a
+// downstream cache's remaining freshness (max-age - Age) is exactly the
+// time to the next expected roll. With manual rolls, Config.FreshFor is
+// advertised with Age 0; with neither, max-age=0 (always revalidate).
+func (s *Server) freshness(h http.Header, sn *snapshot) {
+	var maxAge, age int64
+	switch {
+	case s.cfg.DayInterval > 0:
+		maxAge = int64((s.cfg.DayInterval + time.Second - 1) / time.Second)
+		age = int64(time.Since(sn.builtAt) / time.Second)
+		if age < 0 {
+			age = 0
+		}
+	case s.cfg.FreshFor > 0:
+		maxAge = int64((s.cfg.FreshFor + time.Second - 1) / time.Second)
+	}
+	h.Set("Cache-Control", "max-age="+strconv.FormatInt(maxAge, 10))
+	h.Set("Age", strconv.FormatInt(age, 10))
+}
+
 // writeV1Error renders the v1 error envelope. retryAfter > 0 additionally
 // sets the Retry-After header (ceiling seconds, minimum 1 — the header
 // cannot express sub-second waits; the envelope's retry_after_ms can).
@@ -49,6 +71,7 @@ func writeV1Error(w http.ResponseWriter, status int, code, msg string, retryAfte
 	h := w.Header()
 	h.Set("Content-Type", "application/json")
 	h.Set("X-API-Version", apiVersion)
+	h.Set("Cache-Control", "no-store")
 	e := ErrorJSON{Error: ErrorBody{Code: code, Message: msg}}
 	if retryAfter > 0 {
 		secs := int64((retryAfter + time.Second - 1) / time.Second)
@@ -70,18 +93,21 @@ func writeV1Error(w http.ResponseWriter, status int, code, msg string, retryAfte
 	bufPool.Put(buf)
 }
 
-// v1Doc marks a response as v1 and serves a pre-encoded snapshot document.
-// The bytes and ETag are the very same cachedDoc the legacy route serves —
-// versioning the path costs zero extra encodes.
-func v1Doc(w http.ResponseWriter, r *http.Request, sn *snapshot, body []byte, etag, clen string) {
+// v1Doc marks a response as v1, stamps the freshness headers, and serves a
+// pre-encoded snapshot document. The bytes and ETag are the very same
+// cachedDoc the legacy route serves — versioning the path costs zero extra
+// encodes. Freshness is set before serveDoc so 304s carry it too: a
+// revalidating cache resets its clock from the 304.
+func (s *Server) v1Doc(w http.ResponseWriter, r *http.Request, sn *snapshot, body []byte, etag, clen string) {
 	w.Header().Set("X-API-Version", apiVersion)
+	s.freshness(w.Header(), sn)
 	serveDoc(w, r, sn, body, etag, clen)
 }
 
 func (s *Server) handleStatsV1(w http.ResponseWriter, r *http.Request) {
 	sn := s.snap.Load()
 	body, etag, clen := sn.statsDoc()
-	v1Doc(w, r, sn, body, etag, clen)
+	s.v1Doc(w, r, sn, body, etag, clen)
 }
 
 func (s *Server) handleListV1(w http.ResponseWriter, r *http.Request) {
@@ -112,7 +138,7 @@ func (s *Server) handleListV1(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body, etag, clen := sn.listDoc(page)
-	v1Doc(w, r, sn, body, etag, clen)
+	s.v1Doc(w, r, sn, body, etag, clen)
 }
 
 func (s *Server) v1PathID(w http.ResponseWriter, r *http.Request, sn *snapshot) (int, bool) {
@@ -137,7 +163,7 @@ func (s *Server) handleAppV1(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body, etag, clen := sn.detailDoc(id)
-	v1Doc(w, r, sn, body, etag, clen)
+	s.v1Doc(w, r, sn, body, etag, clen)
 }
 
 func (s *Server) handleCommentsV1(w http.ResponseWriter, r *http.Request) {
@@ -147,7 +173,7 @@ func (s *Server) handleCommentsV1(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body, etag, clen := sn.commentsDoc(id)
-	v1Doc(w, r, sn, body, etag, clen)
+	s.v1Doc(w, r, sn, body, etag, clen)
 }
 
 func (s *Server) handleAPKV1(w http.ResponseWriter, r *http.Request) {
@@ -156,6 +182,7 @@ func (s *Server) handleAPKV1(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("X-API-Version", apiVersion)
+	s.freshness(w.Header(), sn)
 	// The APK payload logic (deterministic stream, version ETag) is
 	// identical in both API versions; delegate to the legacy handler.
 	s.handleAPK(w, r)
@@ -229,6 +256,7 @@ func (s *Server) handleCursorV1(w http.ResponseWriter, r *http.Request, cursor s
 		`-v` + strconv.FormatUint(sn.ex.VersionSum(lo, hi), 10) + `"`
 	h := w.Header()
 	h.Set("X-API-Version", apiVersion)
+	s.freshness(h, sn)
 	h.Set("ETag", etag)
 	h.Set("X-Store-Day", sn.dayStr)
 	if r.Header.Get("If-None-Match") == etag {

@@ -3,6 +3,7 @@ package storeserver
 import (
 	"bytes"
 	"strconv"
+	"time"
 
 	"planetapps/internal/catalog"
 	"planetapps/internal/marketsim"
@@ -28,6 +29,10 @@ type snapshot struct {
 	day    int
 	dayStr string
 	store  string
+
+	// builtAt anchors the Age header on /api/v1 responses: the freshness
+	// clock starts at snapshot publish, not at request time.
+	builtAt time.Time
 
 	ex       *marketsim.Export
 	n        int // ex.NumApps()
@@ -70,6 +75,7 @@ func newSnapshot(e *marketsim.Export, prev *snapshot, comments map[catalog.AppID
 	}
 	sn := &snapshot{
 		day:         e.Day(),
+		builtAt:     time.Now(),
 		dayStr:      strconv.Itoa(e.Day()),
 		store:       e.Store(),
 		ex:          e,

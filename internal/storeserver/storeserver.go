@@ -93,6 +93,18 @@ type Config struct {
 	// PrewarmWorkers bounds the pre-warm encoding concurrency (<= 0
 	// defaults to 2).
 	PrewarmWorkers int
+	// DayInterval is the wall-clock cadence at which the operator rolls
+	// the store (appstored -day-every). When set, every /api/v1 response
+	// carries Cache-Control: max-age=<interval> plus an Age counted from
+	// the serving snapshot's publish, so a downstream cache holding the
+	// response knows exactly how long it stays fresh: max-age - Age is
+	// the time to the next expected day-roll.
+	DayInterval time.Duration
+	// FreshFor is the freshness lifetime advertised when DayInterval is
+	// zero (manual / in-process rolls): responses claim max-age=FreshFor
+	// with Age 0. Zero advertises max-age=0 — always revalidate — the
+	// strictly correct stance when the next roll is unscheduled.
+	FreshFor time.Duration
 }
 
 // DefaultConfig returns a config suitable for in-process crawling tests.
