@@ -35,9 +35,9 @@ import (
 	"planetapps/internal/edgecache"
 	"planetapps/internal/faultinject"
 	"planetapps/internal/loadgen"
-	"planetapps/internal/resilient"
 	"planetapps/internal/marketsim"
 	"planetapps/internal/model"
+	"planetapps/internal/resilient"
 	"planetapps/internal/storeserver"
 	"planetapps/internal/trace"
 )
@@ -54,6 +54,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 10*time.Second, "per-request deadline")
 		inflight  = flag.Int("max-inflight", 4096, "open-loop concurrent request cap")
 		apkEvery  = flag.Int("apk-every", 0, "download the APK for every Nth event (0 = metadata only)")
+		gz        = flag.Bool("gzip", false, "negotiate gzip transfer (Accept-Encoding: gzip) and report wire bytes by encoding")
 		events    = flag.Int64("events", 100000, "stop after replaying this many workload events (0 = source length)")
 		seed      = flag.Uint64("seed", 1, "workload seed")
 		out       = flag.String("out", "", "write the JSON report here instead of stdout")
@@ -221,6 +222,7 @@ func main() {
 		Timeout:     *timeout,
 		MaxEvents:   *events,
 		APKEvery:    *apkEvery,
+		AcceptGzip:  *gz,
 		Seed:        *seed,
 	}
 	if rc != nil {
@@ -271,6 +273,10 @@ func main() {
 		log.Printf("loadtest: %s: %d events, %d requests, %.0f rps, p50 %.2fms p99 %.2fms, %d limited, %d errors",
 			m, rep.Events, rep.Requests, rep.ThroughputRPS,
 			classLatency(rep).P50, classLatency(rep).P99, rep.RateLimited, rep.Errors)
+		if rep.GzipResponses > 0 || rep.GzipBytes > 0 {
+			log.Printf("loadtest: %s: wire: %d gzip responses (%d bytes compressed), %d bytes identity",
+				m, rep.GzipResponses, rep.GzipBytes, rep.IdentityBytes)
+		}
 		if dr := rep.DayRoll; dr != nil {
 			if !dr.Rolled {
 				log.Printf("loadtest: %s: day roll never fired — run shorter than warmup+%v", m, *dayRoll)

@@ -67,6 +67,12 @@ type Config struct {
 	// breaker, no AIMD admission, no proxy health scoring — leaving plain
 	// retry/backoff. The chaos benchmark's baseline.
 	Naive bool
+	// DisableGzip turns off compressed transfer. By default the crawler
+	// asks the store for gzip and inflates (and CRC-checks) responses in
+	// the resilient retry loop, cutting wire bytes on the dominant
+	// JSON-transfer cost; disabling it restores identity transfer for
+	// A/B comparison. Either way the ingested documents are identical.
+	DisableGzip bool
 	// CondCacheSize bounds the per-URL conditional-GET cache (entries);
 	// least-recently-used entries are evicted past the cap. <= 0 uses a
 	// default of 65536 — comfortably above one crawl pass of the test
@@ -243,6 +249,7 @@ func New(cfg Config, database *db.DB) (*Crawler, error) {
 		MaxRetries:     cfg.MaxRetries,
 		BaseBackoff:    cfg.Backoff,
 		AttemptTimeout: cfg.Timeout,
+		AcceptGzip:     !cfg.DisableGzip,
 		PreAttempt:     c.waitRate,
 		UserAgent:      "planetapps-crawler/1.0",
 		Metrics:        cfg.Metrics,

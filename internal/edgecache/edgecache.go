@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"planetapps/internal/cache"
+	"planetapps/internal/gzipx"
 	"planetapps/internal/metrics"
 	"planetapps/internal/resilient"
 )
@@ -92,9 +93,11 @@ type Config struct {
 // taken under the lock can be served after releasing it.
 type entry struct {
 	key    string
-	body   []byte
+	body   []byte // stored as received: compressed bytes stay compressed
 	etag   string
 	ctype  string
+	cenc   string // origin Content-Encoding ("" or "gzip"), forwarded as-is
+	vary   string // origin Vary, forwarded downstream
 	day    string // origin X-Store-Day
 	apiVer string // origin X-API-Version
 	cc     string // origin Cache-Control, forwarded downstream
@@ -124,12 +127,17 @@ type Server struct {
 	// single-flight table. The replacement policies are single-goroutine
 	// structures; every policy call happens under mu.
 	mu      sync.Mutex
-	ids     map[string]int32 // request key -> interned id
+	ids     map[string]int32 // cache key (URI + variant) -> interned id
 	entries map[int32]*entry
 	pol     cache.Policy
 	cats    map[string]int32 // category name -> dense id
 	catOf   map[int32]int32  // interned key id -> category (policy partitioning)
 	flights map[string]*flight
+	// varyAE records the URIs whose origin responses carry
+	// Vary: Accept-Encoding. Only for those does the cache key split by
+	// negotiated encoding; a non-varying URI keeps one shared entry no
+	// matter what clients advertise.
+	varyAE map[string]bool
 
 	warm *warmer // nil when prefetch is off
 
@@ -162,6 +170,7 @@ func New(cfg Config) (*Server, error) {
 		cats:    map[string]int32{},
 		catOf:   map[int32]int32{},
 		flights: map[string]*flight{},
+		varyAE:  map[string]bool{},
 	}
 	capacity := int(cfg.CapacityBytes)
 	switch cfg.Policy {
@@ -225,17 +234,39 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// variantOf maps a client request to the encoding variant the edge will
+// serve and request upstream: "gzip" when the client consents to gzip,
+// "" (identity) otherwise.
+func variantOf(r *http.Request) string {
+	if gzipx.AcceptsGzip(r.Header.Get("Accept-Encoding")) {
+		return "gzip"
+	}
+	return ""
+}
+
+// cacheKeyLocked is the storage key for (URI, variant): the bare URI for
+// origins that do not vary on Accept-Encoding, URI + a NUL-separated
+// variant tag for ones that do. Caller holds s.mu (varyAE access).
+func (s *Server) cacheKeyLocked(base, variant string) string {
+	if variant != "" && s.varyAE[base] {
+		return base + "\x00" + variant
+	}
+	return base
+}
+
 // proxy serves one client request through the cache.
 func (s *Server) proxy(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
 		http.Error(w, "edge: method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
-	key := r.URL.RequestURI()
+	base := r.URL.RequestURI()
+	variant := variantOf(r)
 	s.st.requests.Inc()
 	now := time.Now()
 
 	s.mu.Lock()
+	key := s.cacheKeyLocked(base, variant)
 	var e *entry
 	if id, ok := s.ids[key]; ok {
 		if e = s.entries[id]; e != nil && now.Before(e.expires) {
@@ -255,18 +286,18 @@ func (s *Server) proxy(w http.ResponseWriter, r *http.Request) {
 				s.mu.Unlock()
 				s.st.hits.Inc()
 				s.serveEntry(w, r, &snap, now, "hit")
-				s.noteClient(r, key, snap.appID)
+				s.noteClient(r, base, snap.appID)
 				return
 			}
 		}
 	}
 	s.mu.Unlock()
 
-	out := s.getOrFetch(r.Context(), key, clientXFF(r))
+	out := s.getOrFetch(r.Context(), base, variant, clientXFF(r))
 	switch out.kind {
 	case kindMiss, kindReval, kindStale:
 		s.serveEntry(w, r, out.entry, time.Now(), out.kind.label())
-		s.noteClient(r, key, out.entry.appID)
+		s.noteClient(r, base, out.entry.appID)
 	case kindPass:
 		s.servePass(w, r, out)
 	default: // kindError
@@ -282,6 +313,9 @@ func (s *Server) proxy(w http.ResponseWriter, r *http.Request) {
 func (s *Server) serveEntry(w http.ResponseWriter, r *http.Request, e *entry, now time.Time, verdict string) {
 	h := w.Header()
 	h.Set("ETag", e.etag)
+	if e.vary != "" {
+		h.Set("Vary", e.vary)
+	}
 	if e.day != "" {
 		h.Set("X-Store-Day", e.day)
 	}
@@ -302,6 +336,9 @@ func (s *Server) serveEntry(w http.ResponseWriter, r *http.Request, e *entry, no
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
+	if e.cenc != "" {
+		h.Set("Content-Encoding", e.cenc)
+	}
 	h.Set("Content-Type", e.ctype)
 	h.Set("Content-Length", strconv.Itoa(len(e.body)))
 	if r.Method == http.MethodHead {
@@ -313,8 +350,8 @@ func (s *Server) serveEntry(w http.ResponseWriter, r *http.Request, e *entry, no
 
 // passHeaders are the origin headers a passthrough response relays.
 var passHeaders = []string{
-	"ETag", "Content-Type", "X-Store-Day", "X-API-Version",
-	"Cache-Control", "Age", "Retry-After",
+	"ETag", "Content-Type", "Content-Encoding", "Vary", "X-Store-Day",
+	"X-API-Version", "Cache-Control", "Age", "Retry-After",
 }
 
 // servePass relays an origin response the edge does not cache (APK

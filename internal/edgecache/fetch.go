@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"planetapps/internal/gzipx"
 	"planetapps/internal/resilient"
 )
 
@@ -55,11 +56,15 @@ type flight struct {
 }
 
 // getOrFetch resolves a request the fresh-hit path could not serve:
-// coalesce with an in-flight fetch for the same key, or become the leader
-// and fetch (revalidating if a stale copy exists).
-func (s *Server) getOrFetch(ctx context.Context, key, xff string) *fetchOut {
+// coalesce with an in-flight fetch for the same (URI, variant), or become
+// the leader and fetch (revalidating if a stale copy exists). Flights are
+// keyed per variant even before the URI's Vary behavior is learned — a
+// gzip client must never be handed an identity leader's bytes, or vice
+// versa.
+func (s *Server) getOrFetch(ctx context.Context, base, variant, xff string) *fetchOut {
+	fkey := base + "\x00\x00" + variant
 	s.mu.Lock()
-	if f, ok := s.flights[key]; ok {
+	if f, ok := s.flights[fkey]; ok {
 		s.mu.Unlock()
 		s.st.coalesced.Inc()
 		select {
@@ -70,9 +75,9 @@ func (s *Server) getOrFetch(ctx context.Context, key, xff string) *fetchOut {
 		}
 	}
 	f := &flight{done: make(chan struct{})}
-	s.flights[key] = f
+	s.flights[fkey] = f
 	var staleEtag string
-	if id, ok := s.ids[key]; ok {
+	if id, ok := s.ids[s.cacheKeyLocked(base, variant)]; ok {
 		if e := s.entries[id]; e != nil {
 			staleEtag = e.etag
 		}
@@ -82,10 +87,10 @@ func (s *Server) getOrFetch(ctx context.Context, key, xff string) *fetchOut {
 	// The fetch deliberately runs on a fresh context: its result fills a
 	// shared cache serving every coalesced follower, so one impatient
 	// leader disconnecting must not cancel it for the rest.
-	f.out = s.fetch(context.Background(), key, staleEtag, xff)
+	f.out = s.fetch(context.Background(), base, variant, staleEtag, xff)
 
 	s.mu.Lock()
-	delete(s.flights, key)
+	delete(s.flights, fkey)
 	s.mu.Unlock()
 	close(f.done)
 	return f.out
@@ -94,7 +99,10 @@ func (s *Server) getOrFetch(ctx context.Context, key, xff string) *fetchOut {
 // validateDoc rejects damaged JSON payloads before they can enter the
 // cache: a corrupted body (the faultinject corruption scenario zeroes a
 // span mid-body) must trigger a re-fetch, not get cached and re-served
-// forever. Non-JSON payloads pass through unchecked — they are not cached.
+// forever. Compressed payloads are decompressed here and ONLY here — the
+// gzip CRC plus the JSON check together gate admission; the hit path
+// never inflates anything. Non-JSON payloads pass through unchecked —
+// they are not cached.
 func validateDoc(res *resilient.Result) error {
 	if res.Status != http.StatusOK {
 		return nil
@@ -102,17 +110,59 @@ func validateDoc(res *resilient.Result) error {
 	if !strings.HasPrefix(res.Header.Get("Content-Type"), "application/json") {
 		return nil
 	}
-	if !json.Valid(res.Body) {
+	body := res.Body
+	if res.Header.Get("Content-Encoding") == "gzip" {
+		plain, err := gzipx.Decompress(body)
+		if err != nil {
+			return errors.New("edgecache: damaged gzip payload: " + err.Error())
+		}
+		body = plain
+	}
+	if !json.Valid(body) {
 		return errors.New("edgecache: damaged JSON payload")
 	}
 	return nil
 }
 
+// parseVary splits an origin Vary header into the one dimension the edge
+// knows how to key on (Accept-Encoding) and everything else. "*" counts
+// as other: it means "varies on something you cannot see", which the edge
+// honors by not caching.
+func parseVary(v string) (ae, other bool) {
+	for v != "" {
+		field := v
+		if i := strings.IndexByte(v, ','); i >= 0 {
+			field, v = v[:i], v[i+1:]
+		} else {
+			v = ""
+		}
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		if strings.EqualFold(field, "Accept-Encoding") {
+			ae = true
+		} else {
+			other = true
+		}
+	}
+	return ae, other
+}
+
 // fetch performs the leader's origin exchange and folds the outcome into
-// the cache.
-func (s *Server) fetch(ctx context.Context, key, staleEtag, xff string) *fetchOut {
-	url := s.cfg.Origin + key
+// the cache. The origin leg always carries an explicit Accept-Encoding —
+// "gzip" for the gzip variant, "identity" otherwise — which also disables
+// the Go transport's transparent decompression, so compressed bytes
+// arrive (and are stored, and later served) exactly as the origin encoded
+// them: one compression per content version, ever, at the origin.
+func (s *Server) fetch(ctx context.Context, base, variant, staleEtag, xff string) *fetchOut {
+	url := s.cfg.Origin + base
 	hdr := http.Header{}
+	if variant == "gzip" {
+		hdr.Set("Accept-Encoding", "gzip")
+	} else {
+		hdr.Set("Accept-Encoding", "identity")
+	}
 	if staleEtag != "" {
 		hdr.Set("If-None-Match", staleEtag)
 	}
@@ -132,7 +182,7 @@ func (s *Server) fetch(ctx context.Context, key, staleEtag, xff string) *fetchOu
 		// unreachable. Serve the stale copy when one exists — old data
 		// beats no data while the origin rides out a fault storm.
 		s.mu.Lock()
-		if id, ok := s.ids[key]; ok {
+		if id, ok := s.ids[s.cacheKeyLocked(base, variant)]; ok {
 			if e := s.entries[id]; e != nil {
 				snap := *e
 				s.mu.Unlock()
@@ -149,7 +199,7 @@ func (s *Server) fetch(ctx context.Context, key, staleEtag, xff string) *fetchOu
 		// Our copy is still current: refresh its freshness clock.
 		ttl, age := s.freshnessOf(res.Header)
 		s.mu.Lock()
-		id, ok := s.ids[key]
+		id, ok := s.ids[s.cacheKeyLocked(base, variant)]
 		if ok {
 			if e := s.entries[id]; e != nil && e.etag == staleEtag {
 				e.originAge = age
@@ -171,7 +221,7 @@ func (s *Server) fetch(ctx context.Context, key, staleEtag, xff string) *fetchOu
 		s.mu.Unlock()
 		// The entry vanished between flight start and the 304 (evicted
 		// mid-flight): we hold no body. Refetch unconditionally.
-		return s.fetch(ctx, key, "", xff)
+		return s.fetch(ctx, base, variant, "", xff)
 
 	case res.Status == http.StatusOK:
 		s.st.originBytes.Add(int64(len(res.Body)))
@@ -181,16 +231,41 @@ func (s *Server) fetch(ctx context.Context, key, staleEtag, xff string) *fetchOu
 			// payload (APK stream) the edge cannot integrity-check.
 			return &fetchOut{kind: kindPass, status: res.Status, header: res.Header, body: res.Body}
 		}
+		vary := res.Header.Get("Vary")
+		varyAE, varyOther := parseVary(vary)
+		cenc := res.Header.Get("Content-Encoding")
+		if varyOther || (cenc != "" && cenc != "gzip") {
+			// The response varies on a dimension the edge cannot key on,
+			// or carries a coding it cannot integrity-check: honoring
+			// Vary means not caching what we cannot tell apart.
+			return &fetchOut{kind: kindPass, status: res.Status, header: res.Header, body: res.Body}
+		}
+		plain := res.Body
+		if cenc == "gzip" {
+			var derr error
+			if plain, derr = gzipx.Decompress(res.Body); derr != nil {
+				// Unreachable after validateDoc, but stay honest: relay
+				// rather than cache bytes we cannot verify.
+				return &fetchOut{kind: kindPass, status: res.Status, header: res.Header, body: res.Body}
+			}
+		}
 		ttl, age := s.freshnessOf(res.Header)
-		info := classify(key, res.Body)
+		info := classify(base, plain)
 		if s.warm != nil && info.appID >= 0 && !strings.HasPrefix(info.cat, "\x00") {
 			s.warm.learn(info.appID, info.cat, info.downloads)
 		}
+		s.mu.Lock()
+		if varyAE {
+			s.varyAE[base] = true
+		}
+		key := s.cacheKeyLocked(base, variant)
 		e := &entry{
 			key:       key,
 			body:      res.Body,
 			etag:      etag,
 			ctype:     res.Header.Get("Content-Type"),
+			cenc:      cenc,
+			vary:      vary,
 			day:       res.Header.Get("X-Store-Day"),
 			apiVer:    res.Header.Get("X-API-Version"),
 			cc:        res.Header.Get("Cache-Control"),
@@ -199,7 +274,6 @@ func (s *Server) fetch(ctx context.Context, key, staleEtag, xff string) *fetchOu
 			expires:   now.Add(ttl),
 			appID:     info.appID,
 		}
-		s.mu.Lock()
 		id := s.idOf(key)
 		s.catOf[id] = s.internCat(info.cat)
 		s.pol.AccessCost(id, int64(len(e.body)))

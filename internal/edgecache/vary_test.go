@@ -1,0 +1,180 @@
+package edgecache
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"planetapps/internal/gzipx"
+)
+
+// varyingOrigin negotiates gzip the way the v1 store does: distinct bytes
+// and a distinct ETag per encoding, Vary: Accept-Encoding on both. It is
+// the minimal origin that breaks a cache keyed on URI alone.
+type varyingOrigin struct {
+	mu   sync.Mutex
+	hits int
+}
+
+func (o *varyingOrigin) count() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.hits
+}
+
+func (o *varyingOrigin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	o.mu.Lock()
+	o.hits++
+	o.mu.Unlock()
+	plain := []byte(`{"id":1,"category":"c0","downloads":1000,"pad":"` +
+		strings.Repeat("x", 512) + `"}`)
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Vary", "Accept-Encoding")
+	h.Set("Cache-Control", "max-age=60")
+	etag, body := `"doc-v1"`, plain
+	if strings.Contains(r.Header.Get("Accept-Encoding"), "gzip") {
+		etag, body = `"doc-v1-gz"`, gzipx.Compress(plain)
+		h.Set("Content-Encoding", "gzip")
+	}
+	h.Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Write(body)
+}
+
+// rawGet fetches without the Go client's transparent gzip: the explicit
+// Accept-Encoding keeps the wire bytes visible to the test.
+func rawGet(t *testing.T, url, acceptEncoding string) (int, []byte, http.Header) {
+	t.Helper()
+	return edgeGet(t, url, map[string]string{"Accept-Encoding": acceptEncoding})
+}
+
+// TestVarySplitsCacheKey is the Vary regression test: one URI, two
+// representations. Each negotiated encoding must get its own cache entry —
+// a gzip client must never receive the identity entry's bytes (or ETag),
+// and vice versa, in either fill order.
+func TestVarySplitsCacheKey(t *testing.T) {
+	origin := &varyingOrigin{}
+	s, base := newTestEdge(t, origin, Config{})
+	url := base + "/api/v1/apps/1"
+
+	// Identity first: fills the shared (pre-learn) key.
+	code, idBody, idHdr := rawGet(t, url, "identity")
+	if code != 200 || idHdr.Get("Content-Encoding") != "" {
+		t.Fatalf("identity fill: status %d, Content-Encoding %q", code, idHdr.Get("Content-Encoding"))
+	}
+	if idHdr.Get("Vary") != "Accept-Encoding" {
+		t.Fatalf("identity fill: Vary %q, want Accept-Encoding", idHdr.Get("Vary"))
+	}
+
+	// Gzip client on the same URI: with a URI-only cache key this would be
+	// a fresh hit serving the identity entry; Vary-aware keying makes it a
+	// distinct entry holding compressed wire bytes.
+	code, gzBody, gzHdr := rawGet(t, url, "gzip")
+	if code != 200 {
+		t.Fatalf("gzip fill: status %d", code)
+	}
+	if gzHdr.Get("Content-Encoding") != "gzip" {
+		t.Fatalf("gzip client got Content-Encoding %q — served the identity variant", gzHdr.Get("Content-Encoding"))
+	}
+	if gzHdr.Get("ETag") != `"doc-v1-gz"` || idHdr.Get("ETag") != `"doc-v1"` {
+		t.Fatalf("variant ETags crossed: identity %q, gzip %q", idHdr.Get("ETag"), gzHdr.Get("ETag"))
+	}
+	plain, err := gzipx.Decompress(gzBody)
+	if err != nil {
+		t.Fatalf("gzip variant does not inflate: %v", err)
+	}
+	if !bytes.Equal(plain, idBody) {
+		t.Fatal("gzip variant inflates to different content than the identity variant")
+	}
+
+	// Both variants now resident: repeat requests are fresh hits served
+	// from their own entries, with zero additional origin traffic.
+	fills := origin.count()
+	for i := 0; i < 3; i++ {
+		_, b, h := rawGet(t, url, "identity")
+		if h.Get("X-Edge-Cache") != "hit" || h.Get("Content-Encoding") != "" || !bytes.Equal(b, idBody) {
+			t.Fatalf("identity re-read %d: verdict %q, Content-Encoding %q", i, h.Get("X-Edge-Cache"), h.Get("Content-Encoding"))
+		}
+		_, b, h = rawGet(t, url, "gzip")
+		if h.Get("X-Edge-Cache") != "hit" || h.Get("Content-Encoding") != "gzip" || !bytes.Equal(b, gzBody) {
+			t.Fatalf("gzip re-read %d: verdict %q, Content-Encoding %q", i, h.Get("X-Edge-Cache"), h.Get("Content-Encoding"))
+		}
+	}
+	if got := origin.count(); got != fills {
+		t.Fatalf("variant hits cost %d extra origin fetches", got-fills)
+	}
+
+	// Each variant revalidates with its own ETag.
+	code, body, _ := edgeGet(t, url, map[string]string{
+		"Accept-Encoding": "gzip", "If-None-Match": `"doc-v1-gz"`})
+	if code != 304 || len(body) != 0 {
+		t.Fatalf("gzip conditional: status %d, %d body bytes", code, len(body))
+	}
+	code, _, _ = edgeGet(t, url, map[string]string{
+		"Accept-Encoding": "identity", "If-None-Match": `"doc-v1"`})
+	if code != 304 {
+		t.Fatalf("identity conditional: status %d, want 304", code)
+	}
+	// A validator from the other representation must not revalidate.
+	code, _, _ = edgeGet(t, url, map[string]string{
+		"Accept-Encoding": "identity", "If-None-Match": `"doc-v1-gz"`})
+	if code != 200 {
+		t.Fatalf("cross-encoding validator revalidated: status %d, want 200", code)
+	}
+
+	// The cache charged the compressed entry its wire size, not its
+	// inflated size.
+	if st := s.Stats(); st.Bytes >= int64(2*len(idBody)) {
+		t.Fatalf("resident bytes %d suggest the gzip entry was stored inflated (identity body is %d)", st.Bytes, len(idBody))
+	}
+}
+
+// TestVaryUnknownDimensionUncacheable pins the conservative half of Vary
+// honoring: a response varying on a header the edge cannot key on is
+// relayed, never cached — two clients differing in that header must each
+// reach the origin.
+func TestVaryUnknownDimensionUncacheable(t *testing.T) {
+	var hits int
+	var mu sync.Mutex
+	origin := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		hits++
+		mu.Unlock()
+		lang := r.Header.Get("Accept-Language")
+		if lang == "" {
+			lang = "en"
+		}
+		h := w.Header()
+		h.Set("Content-Type", "application/json")
+		h.Set("ETag", `"doc-`+lang+`"`)
+		h.Set("Vary", "Accept-Language")
+		h.Set("Cache-Control", "max-age=60")
+		fmt.Fprintf(w, `{"lang":%q}`, lang)
+	})
+	_, base := newTestEdge(t, origin, Config{})
+	url := base + "/api/v1/apps/1"
+
+	_, _, enHdr := edgeGet(t, url, map[string]string{"Accept-Language": "en"})
+	if enHdr.Get("X-Edge-Cache") != "pass" {
+		t.Fatalf("Vary: Accept-Language response cached (verdict %q)", enHdr.Get("X-Edge-Cache"))
+	}
+	if enHdr.Get("Vary") != "Accept-Language" {
+		t.Fatalf("pass response dropped Vary (got %q)", enHdr.Get("Vary"))
+	}
+	_, _, deHdr := edgeGet(t, url, map[string]string{"Accept-Language": "de"})
+	if deHdr.Get("X-Edge-Cache") != "pass" {
+		t.Fatalf("second request verdict %q, want pass (must not have been cached)", deHdr.Get("X-Edge-Cache"))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if hits != 2 {
+		t.Fatalf("origin hits = %d, want 2 (uncacheable)", hits)
+	}
+}

@@ -250,7 +250,7 @@ func (w *warmer) note(client string, appID int32, prefix string) {
 	w.mu.Unlock()
 
 	for _, k := range keys {
-		if w.s.hasFresh(k) {
+		if w.s.hasFresh(k, "gzip") {
 			w.release(k)
 			continue
 		}
@@ -269,7 +269,11 @@ func (w *warmer) release(key string) {
 }
 
 // worker drains the warm queue through the regular single-flight fetch
-// path, marking fills so usefulness is measurable.
+// path, marking fills so usefulness is measurable. Warm fetches ask for
+// the gzip variant: nearly every real client (crawlers, browsers, the
+// load generator's default) negotiates gzip, so that is the variant worth
+// having resident — and on a non-varying origin it degrades to the shared
+// identity entry anyway.
 func (w *warmer) worker() {
 	defer w.wg.Done()
 	for {
@@ -277,11 +281,11 @@ func (w *warmer) worker() {
 		case <-w.quit:
 			return
 		case key := <-w.ch:
-			if !w.s.hasFresh(key) {
-				out := w.s.getOrFetch(context.Background(), key, "")
+			if !w.s.hasFresh(key, "gzip") {
+				out := w.s.getOrFetch(context.Background(), key, "gzip", "")
 				if out.kind == kindMiss {
 					w.s.st.prefetchFills.Inc()
-					w.s.markPrefetched(key, out.entry.etag)
+					w.s.markPrefetched(out.entry.key, out.entry.etag)
 				}
 			}
 			w.release(key)
@@ -289,12 +293,13 @@ func (w *warmer) worker() {
 	}
 }
 
-// hasFresh reports whether key is resident and fresh.
-func (s *Server) hasFresh(key string) bool {
+// hasFresh reports whether the (URI, variant) pair resolves to a resident
+// fresh entry.
+func (s *Server) hasFresh(base, variant string) bool {
 	now := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if id, ok := s.ids[key]; ok {
+	if id, ok := s.ids[s.cacheKeyLocked(base, variant)]; ok {
 		if e := s.entries[id]; e != nil && now.Before(e.expires) {
 			return true
 		}

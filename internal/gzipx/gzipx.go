@@ -1,0 +1,158 @@
+// Package gzipx is the one place the module touches compress/gzip: pooled
+// compressors for snapshot-time pre-compression (storeserver), pooled
+// decompressors for fill-time validation (edgecache) and transparent
+// client-side decoding (resilient), and the Accept-Encoding negotiation
+// scan every tier shares. Nothing here allocates on a steady-state serving
+// path — compression happens once per content version, decompression once
+// per origin fill or crawl fetch, and AcceptsGzip is a pure byte scan.
+package gzipx
+
+import (
+	"bytes"
+	"compress/gzip"
+	"sync"
+)
+
+var writerPool = sync.Pool{New: func() any {
+	// DefaultCompression: the bytes ship many times per compress (documents
+	// are compressed once per content version and served for a whole
+	// simulated day), so wire size wins over compressor speed.
+	zw, _ := gzip.NewWriterLevel(nil, gzip.DefaultCompression)
+	return zw
+}}
+
+var readerPool = sync.Pool{New: func() any { return new(gzip.Reader) }}
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// Compress returns src gzip-compressed into a fresh exactly-sized slice.
+// The writer and scratch buffer are pooled; only the returned copy escapes.
+func Compress(src []byte) []byte {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	zw := writerPool.Get().(*gzip.Writer)
+	zw.Reset(buf)
+	zw.Write(src) //nolint:errcheck // bytes.Buffer cannot fail
+	zw.Close()    //nolint:errcheck // bytes.Buffer cannot fail
+	out := append(make([]byte, 0, buf.Len()), buf.Bytes()...)
+	writerPool.Put(zw)
+	bufPool.Put(buf)
+	return out
+}
+
+// Decompress inflates a whole gzip stream into a fresh slice. Any framing,
+// checksum, or truncation damage surfaces as the error — callers treat it
+// exactly like an undecodable body (re-fetch), never as data.
+func Decompress(src []byte) ([]byte, error) {
+	zr := readerPool.Get().(*gzip.Reader)
+	if err := zr.Reset(bytes.NewReader(src)); err != nil {
+		readerPool.Put(zr)
+		return nil, err
+	}
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	_, err := buf.ReadFrom(zr)
+	if err == nil {
+		err = zr.Close() // surfaces the trailing CRC/length check
+	}
+	var out []byte
+	if err == nil {
+		out = append(make([]byte, 0, buf.Len()), buf.Bytes()...)
+	}
+	bufPool.Put(buf)
+	readerPool.Put(zr)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AcceptsGzip reports whether an Accept-Encoding header value admits gzip:
+// a "gzip" token (case-insensitive, optional parameters) whose q-value is
+// not zero. A pure scan over the input — no splitting, no allocation —
+// because the server consults it on every hot-path request. The wildcard
+// "*" is deliberately not treated as gzip consent: every client we care
+// about (Go's transport, curl, browsers, the edge tier) names gzip
+// explicitly, and identity is always a correct answer.
+func AcceptsGzip(ae string) bool {
+	for i := 0; i < len(ae); {
+		// One comma-separated element: [start, end).
+		start := i
+		for i < len(ae) && ae[i] != ',' {
+			i++
+		}
+		end := i
+		i++ // skip the comma
+		// Trim surrounding spaces/tabs.
+		for start < end && (ae[start] == ' ' || ae[start] == '\t') {
+			start++
+		}
+		for end > start && (ae[end-1] == ' ' || ae[end-1] == '\t') {
+			end--
+		}
+		// Split off ";parameters".
+		tokEnd := start
+		for tokEnd < end && ae[tokEnd] != ';' {
+			tokEnd++
+		}
+		te := tokEnd
+		for te > start && (ae[te-1] == ' ' || ae[te-1] == '\t') {
+			te--
+		}
+		if !tokenIsGzip(ae[start:te]) {
+			continue
+		}
+		if qZero(ae[tokEnd:end]) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+func tokenIsGzip(tok string) bool {
+	if len(tok) != 4 {
+		return false
+	}
+	return (tok[0]|0x20) == 'g' && (tok[1]|0x20) == 'z' &&
+		(tok[2]|0x20) == 'i' && (tok[3]|0x20) == 'p'
+}
+
+// qZero reports whether params (";q=0", ";q=0.000", possibly with spaces)
+// assigns a zero quality. Anything unparseable counts as non-zero — the
+// safe default is "client accepts it".
+func qZero(params string) bool {
+	for i := 0; i < len(params); i++ {
+		if params[i] != 'q' && params[i] != 'Q' {
+			continue
+		}
+		j := i + 1
+		for j < len(params) && (params[j] == ' ' || params[j] == '\t') {
+			j++
+		}
+		if j >= len(params) || params[j] != '=' {
+			continue
+		}
+		j++
+		for j < len(params) && (params[j] == ' ' || params[j] == '\t') {
+			j++
+		}
+		if j >= len(params) || params[j] != '0' {
+			return false
+		}
+		// "0", "0.", "0.0", "0.00", "0.000" are zero; any non-zero digit
+		// after the point means a tiny-but-positive q.
+		for j++; j < len(params); j++ {
+			c := params[j]
+			if c == '.' || c == '0' {
+				continue
+			}
+			if c >= '1' && c <= '9' {
+				return false
+			}
+			break // end of the q value (space, comma handled by caller, etc.)
+		}
+		return true
+	}
+	return false
+}

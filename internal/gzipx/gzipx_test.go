@@ -1,0 +1,82 @@
+package gzipx
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCompressRoundTrip(t *testing.T) {
+	src := bytes.Repeat([]byte(`{"id":1,"name":"slideme-app-00001"}`), 64)
+	gz := Compress(src)
+	if len(gz) >= len(src) {
+		t.Fatalf("repetitive JSON did not compress: %d >= %d", len(gz), len(src))
+	}
+	got, err := Decompress(gz)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("round trip not byte-identical")
+	}
+}
+
+func TestDecompressDamage(t *testing.T) {
+	gz := Compress([]byte(`{"apps":[1,2,3,4,5,6,7,8,9,10]}`))
+	// Header damage (the chaos injector zeroes bytes [2,6), mangling the
+	// compression-method byte), payload damage, and truncation must all
+	// surface as errors — never as silently wrong bytes.
+	hdr := append([]byte(nil), gz...)
+	hdr[2], hdr[3] = 0, 0
+	if _, err := Decompress(hdr); err == nil {
+		t.Fatal("mangled header accepted")
+	}
+	crc := append([]byte(nil), gz...)
+	crc[len(crc)-5] ^= 0xff
+	if _, err := Decompress(crc); err == nil {
+		t.Fatal("mangled checksum accepted")
+	}
+	if _, err := Decompress(gz[:len(gz)-8]); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	if _, err := Decompress(nil); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestAcceptsGzip(t *testing.T) {
+	cases := []struct {
+		ae   string
+		want bool
+	}{
+		{"", false},
+		{"gzip", true},
+		{"GZIP", true},
+		{" gzip ", true},
+		{"gzip, deflate, br", true},
+		{"deflate, gzip;q=1.0", true},
+		{"br;q=1.0, gzip;q=0.5", true},
+		{"gzip;q=0", false},
+		{"gzip; q=0", false},
+		{"gzip;q=0.000", false},
+		{"gzip;q=0.001", true},
+		{"deflate", false},
+		{"identity", false},
+		{"*", false},
+		{"x-gzip-ish", false},
+		{"notgzip", false},
+		{"deflate;q=1, gzip;q=0, br", false},
+	}
+	for _, c := range cases {
+		if got := AcceptsGzip(c.ae); got != c.want {
+			t.Errorf("AcceptsGzip(%q) = %v, want %v", c.ae, got, c.want)
+		}
+	}
+}
+
+func TestAcceptsGzipZeroAlloc(t *testing.T) {
+	if n := testing.AllocsPerRun(200, func() {
+		AcceptsGzip("br;q=1.0, gzip;q=0.5, deflate")
+	}); n != 0 {
+		t.Fatalf("AcceptsGzip allocates %.1f/op", n)
+	}
+}

@@ -111,6 +111,12 @@ type Config struct {
 	// APKEvery issues a full APK download for every Nth event in addition
 	// to the metadata request (0 = metadata only).
 	APKEvery int
+	// AcceptGzip negotiates compressed transfer: every request carries an
+	// explicit Accept-Encoding — "gzip" when set, "identity" when not —
+	// so the wire representation is deterministic and visible (the Go
+	// transport's invisible auto-gzip is bypassed either way). The report
+	// then splits response bytes by the encoding that actually arrived.
+	AcceptGzip bool
 	// Seed drives think-time jitter.
 	Seed uint64
 
@@ -145,6 +151,13 @@ type classStats struct {
 	latency     *metrics.Histogram
 	preRoll     *metrics.Histogram
 	postRoll    *metrics.Histogram
+
+	// Response body bytes as they crossed the wire, split by the
+	// Content-Encoding the server chose: gzipBytes arrived compressed,
+	// identityBytes arrived plain. gzipResponses counts the former.
+	gzipBytes     metrics.Counter
+	identityBytes metrics.Counter
+	gzipResponses metrics.Counter
 }
 
 func newClassStats() *classStats {
@@ -275,6 +288,11 @@ func (g *Generator) issue(ctx context.Context, class string, ev model.Event) {
 		return
 	}
 	req.Header.Set("X-Forwarded-For", clientAddr(ev.User))
+	if g.cfg.AcceptGzip {
+		req.Header.Set("Accept-Encoding", "gzip")
+	} else {
+		req.Header.Set("Accept-Encoding", "identity")
+	}
 	start := time.Now()
 	record := !start.Before(g.measureAt)
 	if !record {
@@ -289,10 +307,16 @@ func (g *Generator) issue(ctx context.Context, class string, ev model.Event) {
 		}
 		return
 	}
-	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	wire, _ := io.Copy(io.Discard, resp.Body) //nolint:errcheck
 	resp.Body.Close()
 	if !record {
 		return
+	}
+	if resp.Header.Get("Content-Encoding") == "gzip" {
+		cs.gzipResponses.Inc()
+		cs.gzipBytes.Add(wire)
+	} else {
+		cs.identityBytes.Add(wire)
 	}
 	elapsed := time.Since(start)
 	cs.latency.Observe(int64(elapsed))

@@ -48,6 +48,14 @@ type ClassReport struct {
 	PostRollMS    *LatencySummary `json:"post_roll_latency_ms,omitempty"`
 	PreRollCount  int64           `json:"pre_roll_requests,omitempty"`
 	PostRollCount int64           `json:"post_roll_requests,omitempty"`
+
+	// Wire accounting: body bytes as transferred, split by the encoding
+	// the server actually sent. GzipResponses counts responses that
+	// arrived compressed; GzipBytes is their wire size, IdentityBytes the
+	// wire size of everything that arrived plain.
+	GzipResponses int64 `json:"gzip_responses"`
+	GzipBytes     int64 `json:"gzip_bytes"`
+	IdentityBytes int64 `json:"identity_bytes"`
 }
 
 // DayRollReport records the mid-run AdvanceDay a day-roll scenario fired.
@@ -73,6 +81,9 @@ type Report struct {
 	Errors         int64          `json:"errors"`
 	OtherStatus    int64          `json:"other_status"`
 	Dropped        int64          `json:"dropped"`
+	GzipResponses  int64          `json:"gzip_responses"`
+	GzipBytes      int64          `json:"gzip_bytes"`
+	IdentityBytes  int64          `json:"identity_bytes"`
 	DurationSec    float64        `json:"duration_sec"`
 	MeasuredSec    float64        `json:"measured_sec"`
 	ThroughputRPS  float64        `json:"throughput_rps"`
@@ -95,13 +106,16 @@ func (g *Generator) report(elapsed time.Duration) *Report {
 	for _, class := range []string{ClassDetail, ClassAPK} {
 		cs := g.classes[class]
 		cr := ClassReport{
-			Class:       class,
-			Requests:    cs.requests.Value(),
-			OK:          cs.ok.Value(),
-			RateLimited: cs.rateLimited.Value(),
-			Errors:      cs.errors.Value(),
-			OtherStatus: cs.otherStatus.Value(),
-			LatencyMS:   summarize(cs.latency.Snapshot()),
+			Class:         class,
+			Requests:      cs.requests.Value(),
+			OK:            cs.ok.Value(),
+			RateLimited:   cs.rateLimited.Value(),
+			Errors:        cs.errors.Value(),
+			OtherStatus:   cs.otherStatus.Value(),
+			LatencyMS:     summarize(cs.latency.Snapshot()),
+			GzipResponses: cs.gzipResponses.Value(),
+			GzipBytes:     cs.gzipBytes.Value(),
+			IdentityBytes: cs.identityBytes.Value(),
 		}
 		if g.cfg.DayRollAfter > 0 {
 			if pre := cs.preRoll.Snapshot(); pre.Count > 0 {
@@ -122,6 +136,9 @@ func (g *Generator) report(elapsed time.Duration) *Report {
 		rep.RateLimited += cr.RateLimited
 		rep.Errors += cr.Errors
 		rep.OtherStatus += cr.OtherStatus
+		rep.GzipResponses += cr.GzipResponses
+		rep.GzipBytes += cr.GzipBytes
+		rep.IdentityBytes += cr.IdentityBytes
 		rep.Classes = append(rep.Classes, cr)
 	}
 	if rep.MeasuredSec > 0 {

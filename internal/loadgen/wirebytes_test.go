@@ -1,0 +1,71 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+
+	"planetapps/internal/storeserver"
+)
+
+// TestWireByteAccounting pins the per-class wire accounting: a negotiated
+// (AcceptGzip) run against the v1 surface must record compressed responses
+// and their wire size, while an identity run over the same workload records
+// everything under identity bytes — and the compressed run must move fewer
+// body bytes for the same documents.
+func TestWireByteAccounting(t *testing.T) {
+	_, ts := testStore(t, storeserver.Config{PageSize: 50})
+	const n = 200
+	run := func(acceptGzip bool) *Report {
+		t.Helper()
+		g, err := New(Config{
+			BaseURL:    ts.URL,
+			APIPrefix:  "/api/v1",
+			Mode:       ClosedLoop,
+			Users:      4,
+			AcceptGzip: acceptGzip,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := g.Run(context.Background(), NewSliceSource(syntheticEvents(n, 50, 40)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkAccounting(t, rep)
+		return rep
+	}
+
+	id := run(false)
+	if id.GzipResponses != 0 || id.GzipBytes != 0 {
+		t.Fatalf("identity run recorded compressed traffic: %d responses, %d bytes",
+			id.GzipResponses, id.GzipBytes)
+	}
+	if id.IdentityBytes == 0 {
+		t.Fatal("identity run recorded no body bytes")
+	}
+
+	gz := run(true)
+	if gz.GzipResponses == 0 || gz.GzipBytes == 0 {
+		t.Fatal("negotiated run never received a compressed response from the v1 surface")
+	}
+	if wire := gz.GzipBytes + gz.IdentityBytes; wire >= id.IdentityBytes {
+		t.Fatalf("compression saved nothing on the wire: %d bytes negotiated vs %d identity",
+			wire, id.IdentityBytes)
+	}
+
+	// The per-class split must add up to the report totals.
+	for _, rep := range []*Report{id, gz} {
+		var gzb, idb, gzr int64
+		for _, c := range rep.Classes {
+			gzb += c.GzipBytes
+			idb += c.IdentityBytes
+			gzr += c.GzipResponses
+		}
+		if gzb != rep.GzipBytes || idb != rep.IdentityBytes || gzr != rep.GzipResponses {
+			t.Fatalf("class wire totals (%d gz, %d id, %d responses) != report (%d, %d, %d)",
+				gzb, idb, gzr, rep.GzipBytes, rep.IdentityBytes, rep.GzipResponses)
+		}
+	}
+	t.Logf("wire: identity %d bytes; negotiated %d compressed + %d identity (%d gzip responses)",
+		id.IdentityBytes, gz.GzipBytes, gz.IdentityBytes, gz.GzipResponses)
+}

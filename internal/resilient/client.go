@@ -33,8 +33,10 @@ import (
 	"io"
 	"net/http"
 	neturl "net/url"
+	"strconv"
 	"time"
 
+	"planetapps/internal/gzipx"
 	"planetapps/internal/metrics"
 )
 
@@ -89,6 +91,13 @@ type Config struct {
 	// ProxyFunc on the Transport.
 	ProxyHealth *ProxyHealth
 
+	// AcceptGzip makes every attempt ask for gzip explicitly
+	// (Accept-Encoding: gzip, which also switches off the Go transport's
+	// invisible decompression) and inflates compressed responses inside
+	// the retry loop: a damaged gzip stream (bad CRC, truncated deflate)
+	// is counted as an invalid body and re-fetched, exactly like damaged
+	// JSON. Callers always see identity bytes; the wire carried less.
+	AcceptGzip bool
 	// PreAttempt runs before every physical attempt (hedges included) —
 	// the crawler's politeness rate limiter plugs in here so retries and
 	// hedges spend the same token budget as first attempts.
@@ -136,6 +145,9 @@ type Client struct {
 	hedges          *metrics.Counter
 	hedgeWins       *metrics.Counter
 	invalidBodies   *metrics.Counter
+	gzipResponses   *metrics.Counter
+	gzipWireBytes   *metrics.Counter
+	gzipPlainBytes  *metrics.Counter
 	retryAfterWaits *metrics.Counter
 	breakerWaits    *metrics.Counter
 	breakerOpens    *metrics.Counter
@@ -186,6 +198,9 @@ func New(cfg Config) *Client {
 	c.hedges = counter("resilient_hedges_total")
 	c.hedgeWins = counter("resilient_hedge_wins_total")
 	c.invalidBodies = counter("resilient_invalid_body_total")
+	c.gzipResponses = counter("resilient_gzip_responses_total")
+	c.gzipWireBytes = counter("resilient_gzip_wire_bytes_total")
+	c.gzipPlainBytes = counter("resilient_gzip_inflated_bytes_total")
 	c.retryAfterWaits = counter("resilient_retry_after_waits_total")
 	c.breakerWaits = counter("resilient_breaker_waits_total")
 	c.breakerOpens = counter("resilient_breaker_opens_total")
@@ -209,6 +224,9 @@ type Stats struct {
 	Attempts, Retries int64
 	Hedges, HedgeWins int64
 	InvalidBodies     int64
+	GzipResponses     int64
+	GzipWireBytes     int64
+	GzipInflatedBytes int64
 	RetryAfterWaits   int64
 	BreakerWaits      int64
 	BreakerOpens      int64
@@ -222,16 +240,19 @@ type Stats struct {
 // Stats snapshots the recovery counters.
 func (c *Client) Stats() Stats {
 	s := Stats{
-		Attempts:        c.attempts.Value(),
-		Retries:         c.retries.Value(),
-		Hedges:          c.hedges.Value(),
-		HedgeWins:       c.hedgeWins.Value(),
-		InvalidBodies:   c.invalidBodies.Value(),
-		RetryAfterWaits: c.retryAfterWaits.Value(),
-		BreakerWaits:    c.breakerWaits.Value(),
-		BreakerOpens:    c.breakerOpens.Value(),
-		LatencyP50MS:    float64(c.latency.Quantile(0.50)) / 1e6,
-		LatencyP99MS:    float64(c.latency.Quantile(0.99)) / 1e6,
+		Attempts:          c.attempts.Value(),
+		Retries:           c.retries.Value(),
+		Hedges:            c.hedges.Value(),
+		HedgeWins:         c.hedgeWins.Value(),
+		InvalidBodies:     c.invalidBodies.Value(),
+		GzipResponses:     c.gzipResponses.Value(),
+		GzipWireBytes:     c.gzipWireBytes.Value(),
+		GzipInflatedBytes: c.gzipPlainBytes.Value(),
+		RetryAfterWaits:   c.retryAfterWaits.Value(),
+		BreakerWaits:      c.breakerWaits.Value(),
+		BreakerOpens:      c.breakerOpens.Value(),
+		LatencyP50MS:      float64(c.latency.Quantile(0.50)) / 1e6,
+		LatencyP99MS:      float64(c.latency.Quantile(0.99)) / 1e6,
 	}
 	if c.adm != nil {
 		s.AIMDDecreases = c.adm.Decreases()
@@ -378,6 +399,25 @@ func (c *Client) attempt(ctx context.Context, host, url string, hdr http.Header,
 		if res.Status == http.StatusNotModified {
 			c.notModified.Inc()
 		}
+		if c.cfg.AcceptGzip && res.Status != http.StatusNotModified &&
+			res.Header.Get("Content-Encoding") == "gzip" {
+			plain, derr := gzipx.Decompress(res.Body)
+			if derr != nil {
+				// Same treatment as damaged JSON: a corrupted compressed
+				// stream is an invalid body and the attempt retries.
+				c.invalidBodies.Inc()
+				tk.Failure()
+				return res, classRetry, fmt.Errorf("resilient: %s compressed body damaged: %w", url, derr)
+			}
+			c.gzipResponses.Inc()
+			c.gzipWireBytes.Add(int64(len(res.Body)))
+			c.gzipPlainBytes.Add(int64(len(plain)))
+			// Downstream consumers (decoders, the crawl database) see the
+			// document as if it had traveled identity-encoded.
+			res.Body = plain
+			res.Header.Del("Content-Encoding")
+			res.Header.Set("Content-Length", strconv.Itoa(len(plain)))
+		}
 		if validate != nil {
 			if verr := validate(res); verr != nil {
 				c.invalidBodies.Inc()
@@ -500,6 +540,9 @@ func (c *Client) roundTrip(ctx context.Context, url string, hdr http.Header, hed
 	}
 	if c.cfg.UserAgent != "" {
 		req.Header.Set("User-Agent", c.cfg.UserAgent)
+	}
+	if c.cfg.AcceptGzip && req.Header.Get("Accept-Encoding") == "" {
+		req.Header.Set("Accept-Encoding", "gzip")
 	}
 	c.attempts.Inc()
 	resp, err := c.cfg.Transport.RoundTrip(req)

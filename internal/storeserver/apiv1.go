@@ -3,6 +3,7 @@ package storeserver
 import (
 	"bytes"
 	"encoding/base64"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -48,20 +49,16 @@ func isV1(path string) bool { return strings.HasPrefix(path, "/api/v1/") }
 // downstream cache's remaining freshness (max-age - Age) is exactly the
 // time to the next expected roll. With manual rolls, Config.FreshFor is
 // advertised with Age 0; with neither, max-age=0 (always revalidate).
+// Both values are served from caches — the Cache-Control string is fixed
+// at construction, the Age string re-renders at most once per second —
+// so stamping them is allocation-free.
 func (s *Server) freshness(h http.Header, sn *snapshot) {
-	var maxAge, age int64
-	switch {
-	case s.cfg.DayInterval > 0:
-		maxAge = int64((s.cfg.DayInterval + time.Second - 1) / time.Second)
-		age = int64(time.Since(sn.builtAt) / time.Second)
-		if age < 0 {
-			age = 0
-		}
-	case s.cfg.FreshFor > 0:
-		maxAge = int64((s.cfg.FreshFor + time.Second - 1) / time.Second)
+	hset(h, hdrCacheControl, s.ccValue)
+	if s.cfg.DayInterval > 0 {
+		hset(h, hdrAge, sn.ageString())
+	} else {
+		hset(h, hdrAge, "0")
 	}
-	h.Set("Cache-Control", "max-age="+strconv.FormatInt(maxAge, 10))
-	h.Set("Age", strconv.FormatInt(age, 10))
 }
 
 // writeV1Error renders the v1 error envelope. retryAfter > 0 additionally
@@ -94,98 +91,50 @@ func writeV1Error(w http.ResponseWriter, status int, code, msg string, retryAfte
 }
 
 // v1Doc marks a response as v1, stamps the freshness headers, and serves a
-// pre-encoded snapshot document. The bytes and ETag are the very same
-// cachedDoc the legacy route serves — versioning the path costs zero extra
-// encodes. Freshness is set before serveDoc so 304s carry it too: a
-// revalidating cache resets its clock from the 304.
-func (s *Server) v1Doc(w http.ResponseWriter, r *http.Request, sn *snapshot, body []byte, etag, clen string) {
-	w.Header().Set("X-API-Version", apiVersion)
-	s.freshness(w.Header(), sn)
-	serveDoc(w, r, sn, body, etag, clen)
+// pre-encoded snapshot document with content negotiation. The bytes and
+// ETags are the very same cachedDoc the legacy route serves — versioning
+// the path costs zero extra encodes. Freshness is set before serveDoc so
+// 304s carry it too: a revalidating cache resets its clock from the 304.
+func (s *Server) v1Doc(w http.ResponseWriter, r *http.Request, sn *snapshot, d *cachedDoc) {
+	h := w.Header()
+	hset(h, hdrAPIVersion, apiVersion)
+	s.freshness(h, sn)
+	serveDoc(w, r, sn, d, true)
 }
 
-func (s *Server) handleStatsV1(w http.ResponseWriter, r *http.Request) {
-	sn := s.snap.Load()
-	body, etag, clen := sn.statsDoc()
-	s.v1Doc(w, r, sn, body, etag, clen)
-}
-
-func (s *Server) handleListV1(w http.ResponseWriter, r *http.Request) {
-	q := r.URL.Query()
-	if q.Has("cursor") {
-		if q.Has("page") {
+// handleListV1 serves the v1 listing: ?page= for fixed pages (the same
+// pre-encoded documents as legacy), ?cursor= for the day-roll-stable
+// cursor walk. Query inspection scans RawQuery in place — the old
+// url.Values map was one of the hot path's two mandatory allocations.
+func (s *Server) handleListV1(w http.ResponseWriter, r *http.Request, sn *snapshot) {
+	rq := r.URL.RawQuery
+	cursor, hasCursor := queryValue(rq, "cursor")
+	p, hasPage := queryValue(rq, "page")
+	if hasCursor {
+		if hasPage {
 			writeV1Error(w, http.StatusBadRequest, "bad_request",
 				"page and cursor are mutually exclusive", 0)
 			return
 		}
-		s.handleCursorV1(w, r, q.Get("cursor"))
+		s.handleCursorV1(w, r, sn, cursor)
 		return
 	}
 	page := 0
-	if p := q.Get("page"); p != "" {
-		v, err := strconv.Atoi(p)
-		if err != nil || v < 0 {
+	if hasPage && p != "" {
+		v, ok := parsePage(p)
+		if !ok {
 			writeV1Error(w, http.StatusBadRequest, "bad_page",
 				"page must be a non-negative integer", 0)
 			return
 		}
 		page = v
 	}
-	sn := s.snap.Load()
 	if page >= sn.pages {
 		writeV1Error(w, http.StatusNotFound, "page_out_of_range",
 			"page "+strconv.Itoa(page)+" beyond last page "+strconv.Itoa(sn.pages-1), 0)
 		return
 	}
-	body, etag, clen := sn.listDoc(page)
-	s.v1Doc(w, r, sn, body, etag, clen)
-}
-
-func (s *Server) v1PathID(w http.ResponseWriter, r *http.Request, sn *snapshot) (int, bool) {
-	v, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
-	if err != nil || v < 0 {
-		writeV1Error(w, http.StatusBadRequest, "bad_app_id",
-			"app id must be a non-negative integer", 0)
-		return 0, false
-	}
-	if int(v) >= sn.n {
-		writeV1Error(w, http.StatusNotFound, "app_not_found",
-			"no app with id "+strconv.FormatInt(v, 10), 0)
-		return 0, false
-	}
-	return int(v), true
-}
-
-func (s *Server) handleAppV1(w http.ResponseWriter, r *http.Request) {
-	sn := s.snap.Load()
-	id, ok := s.v1PathID(w, r, sn)
-	if !ok {
-		return
-	}
-	body, etag, clen := sn.detailDoc(id)
-	s.v1Doc(w, r, sn, body, etag, clen)
-}
-
-func (s *Server) handleCommentsV1(w http.ResponseWriter, r *http.Request) {
-	sn := s.snap.Load()
-	id, ok := s.v1PathID(w, r, sn)
-	if !ok {
-		return
-	}
-	body, etag, clen := sn.commentsDoc(id)
-	s.v1Doc(w, r, sn, body, etag, clen)
-}
-
-func (s *Server) handleAPKV1(w http.ResponseWriter, r *http.Request) {
-	sn := s.snap.Load()
-	if _, ok := s.v1PathID(w, r, sn); !ok {
-		return
-	}
-	w.Header().Set("X-API-Version", apiVersion)
-	s.freshness(w.Header(), sn)
-	// The APK payload logic (deterministic stream, version ETag) is
-	// identical in both API versions; delegate to the legacy handler.
-	s.handleAPK(w, r)
+	s.v1Doc(w, r, sn, sn.listDoc(page))
 }
 
 // --- cursor pagination ---------------------------------------------------
@@ -211,26 +160,40 @@ func encodeCursor(next int) string {
 }
 
 // decodeCursor parses an opaque cursor; ok is false for anything not
-// produced by encodeCursor.
-func decodeCursor(s string) (int, bool) {
-	b, err := base64.RawURLEncoding.DecodeString(s)
-	if err != nil || len(b) < len(cursorPrefix)+1 || string(b[:len(cursorPrefix)]) != cursorPrefix {
+// produced by encodeCursor. Decoding goes through stack buffers — a
+// well-formed cursor ("a" + decimal app ID) is at most 12 bytes decoded,
+// so anything longer is rejected before any work.
+func decodeCursor(cur string) (int, bool) {
+	if len(cur) > 24 || base64.RawURLEncoding.DecodedLen(len(cur)) > 18 {
 		return 0, false
 	}
-	v, err := strconv.Atoi(string(b[len(cursorPrefix):]))
-	if err != nil || v < 0 {
+	var src [24]byte
+	var dst [18]byte
+	n, err := base64.RawURLEncoding.Decode(dst[:], src[:copy(src[:], cur)])
+	if err != nil || n < len(cursorPrefix)+1 || string(dst[:len(cursorPrefix)]) != cursorPrefix {
 		return 0, false
 	}
-	return v, true
+	var v int64
+	for _, c := range dst[len(cursorPrefix):n] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int64(c-'0')
+		if v > math.MaxInt32 {
+			return 0, false
+		}
+	}
+	return int(v), true
 }
 
 // handleCursorV1 serves one cursor-addressed listing slice. An empty
 // cursor value starts from the beginning. Cursor documents are encoded per
-// request — their alignment shifts with the anchor, so pre-encoding every
-// offset is not worthwhile — but the ETag is computed from the spanned
-// rows' content versions *before* encoding, so an If-None-Match
-// revalidation costs no JSON work at all.
-func (s *Server) handleCursorV1(w http.ResponseWriter, r *http.Request, cursor string) {
+// request — their alignment shifts with the anchor, so pre-encoding (and
+// pre-compressing) every offset is not worthwhile; they are served
+// identity-only, and since no negotiation happens they carry no Vary.
+// The ETag is computed from the spanned rows' content versions *before*
+// encoding, so an If-None-Match revalidation costs no JSON work at all.
+func (s *Server) handleCursorV1(w http.ResponseWriter, r *http.Request, sn *snapshot, cursor string) {
 	lo := 0
 	if cursor != "" {
 		v, ok := decodeCursor(cursor)
@@ -241,7 +204,6 @@ func (s *Server) handleCursorV1(w http.ResponseWriter, r *http.Request, cursor s
 		}
 		lo = v
 	}
-	sn := s.snap.Load()
 	hi := lo + sn.pageSize
 	if hi > sn.n {
 		hi = sn.n
@@ -255,11 +217,11 @@ func (s *Server) handleCursorV1(w http.ResponseWriter, r *http.Request, cursor s
 	etag := `"u` + strconv.Itoa(lo) + `-n` + strconv.Itoa(sn.n) +
 		`-v` + strconv.FormatUint(sn.ex.VersionSum(lo, hi), 10) + `"`
 	h := w.Header()
-	h.Set("X-API-Version", apiVersion)
+	hset(h, hdrAPIVersion, apiVersion)
 	s.freshness(h, sn)
-	h.Set("ETag", etag)
-	h.Set("X-Store-Day", sn.dayStr)
-	if r.Header.Get("If-None-Match") == etag {
+	hset(h, hdrETag, etag)
+	hset(h, hdrStoreDay, sn.dayStr)
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
@@ -273,8 +235,8 @@ func (s *Server) handleCursorV1(w http.ResponseWriter, r *http.Request, cursor s
 	buf := bufPool.Get().(*bytes.Buffer)
 	buf.Reset()
 	encodeJSON(buf, out)
-	h.Set("Content-Type", "application/json")
-	h.Set("Content-Length", strconv.Itoa(buf.Len()))
+	hset(h, hdrContentType, "application/json")
+	hset(h, hdrContentLength, strconv.Itoa(buf.Len()))
 	w.Write(buf.Bytes()) //nolint:errcheck // client gone; nothing useful to do
 	bufPool.Put(buf)
 }

@@ -13,6 +13,7 @@ import (
 
 	"planetapps/internal/catalog"
 	"planetapps/internal/faultinject"
+	"planetapps/internal/gzipx"
 	"planetapps/internal/marketsim"
 )
 
@@ -40,9 +41,14 @@ func fetch(t *testing.T, url string, hdr map[string]string) (int, []byte, http.H
 
 // TestV1ServesIdenticalDocuments asserts the core no-double-encoding
 // contract: /api/v1 serves the very same pre-encoded bytes and ETags as
-// the legacy routes, plus the X-API-Version header.
+// the legacy routes (identity-for-identity), plus the X-API-Version
+// header — and when the client negotiates gzip, the snapshot-time
+// compressed variant of those same bytes under the representation's own
+// "-gz" ETag. The legacy surface stays identity-only on the wire.
 func TestV1ServesIdenticalDocuments(t *testing.T) {
 	_, ts := testServer(t, Config{PageSize: 50})
+	identity := map[string]string{"Accept-Encoding": "identity"}
+	gz := map[string]string{"Accept-Encoding": "gzip"}
 	paths := [][2]string{
 		{"/api/stats", "/api/v1/stats"},
 		{"/api/apps?page=0", "/api/v1/apps?page=0"},
@@ -52,22 +58,66 @@ func TestV1ServesIdenticalDocuments(t *testing.T) {
 		{"/api/apps/7/comments", "/api/v1/apps/7/comments"},
 	}
 	for _, p := range paths {
-		legacyCode, legacyBody, legacyHdr := fetch(t, ts.URL+p[0], nil)
-		v1Code, v1Body, v1Hdr := fetch(t, ts.URL+p[1], nil)
+		legacyCode, legacyBody, legacyHdr := fetch(t, ts.URL+p[0], gz)
+		v1Code, v1Body, v1Hdr := fetch(t, ts.URL+p[1], identity)
 		if legacyCode != 200 || v1Code != 200 {
 			t.Fatalf("%s: legacy %d, v1 %d", p[0], legacyCode, v1Code)
 		}
-		if string(legacyBody) != string(v1Body) {
-			t.Fatalf("%s: v1 body differs from legacy", p[0])
+		// Legacy is byte-frozen: even a gzip-accepting client gets the
+		// identity bytes with no negotiation headers.
+		if got := legacyHdr.Get("Content-Encoding"); got != "" {
+			t.Fatalf("%s: legacy response grew Content-Encoding %q", p[0], got)
 		}
-		if le, ve := legacyHdr.Get("ETag"), v1Hdr.Get("ETag"); le != ve || le == "" {
+		if got := legacyHdr.Get("Vary"); got != "" {
+			t.Fatalf("%s: legacy response grew Vary %q", p[0], got)
+		}
+		if string(legacyBody) != string(v1Body) {
+			t.Fatalf("%s: v1 identity body differs from legacy", p[0])
+		}
+		le, ve := legacyHdr.Get("ETag"), v1Hdr.Get("ETag")
+		if le != ve || le == "" {
 			t.Fatalf("%s: ETag mismatch legacy %q v1 %q", p[0], le, ve)
+		}
+		if got := v1Hdr.Get("Vary"); got != "Accept-Encoding" {
+			t.Fatalf("%s: v1 Vary = %q, want Accept-Encoding", p[1], got)
 		}
 		if got := v1Hdr.Get("X-API-Version"); got != "1" {
 			t.Fatalf("%s: X-API-Version = %q, want 1", p[1], got)
 		}
 		if got := legacyHdr.Get("X-API-Version"); got != "" {
 			t.Fatalf("%s: legacy response grew an X-API-Version header %q", p[0], got)
+		}
+
+		// Same document negotiated as gzip: pre-compressed bytes that
+		// inflate to exactly the identity body, under the -gz ETag.
+		gzCode, gzBody, gzHdr := fetch(t, ts.URL+p[1], gz)
+		if gzCode != 200 {
+			t.Fatalf("%s: gzip fetch status %d", p[1], gzCode)
+		}
+		switch gzHdr.Get("Content-Encoding") {
+		case "gzip":
+			want := strings.TrimSuffix(le, `"`) + `-gz"`
+			if got := gzHdr.Get("ETag"); got != want {
+				t.Fatalf("%s: gzip ETag = %q, want %q", p[1], got, want)
+			}
+			plain, err := gzipx.Decompress(gzBody)
+			if err != nil {
+				t.Fatalf("%s: served gzip does not inflate: %v", p[1], err)
+			}
+			if string(plain) != string(legacyBody) {
+				t.Fatalf("%s: gzip variant inflates to different bytes", p[1])
+			}
+			if cl := gzHdr.Get("Content-Length"); cl != strconv.Itoa(len(gzBody)) {
+				t.Fatalf("%s: gzip Content-Length %q vs %d wire bytes", p[1], cl, len(gzBody))
+			}
+		case "":
+			// Incompressible document (gzip would not shrink it): identity
+			// fallback with the identity ETag is the correct answer.
+			if string(gzBody) != string(legacyBody) || gzHdr.Get("ETag") != le {
+				t.Fatalf("%s: identity fallback served different bytes/ETag", p[1])
+			}
+		default:
+			t.Fatalf("%s: unexpected Content-Encoding %q", p[1], gzHdr.Get("Content-Encoding"))
 		}
 	}
 }

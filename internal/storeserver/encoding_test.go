@@ -1,0 +1,178 @@
+package storeserver
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"planetapps/internal/gzipx"
+)
+
+// encGet issues one in-process GET with explicit negotiation headers
+// (bypassing the Go client's transparent gzip, which would hide the wire
+// representation this file is about).
+func encGet(t *testing.T, h http.Handler, path, acceptEncoding, ifNoneMatch string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	if acceptEncoding != "" {
+		req.Header.Set("Accept-Encoding", acceptEncoding)
+	}
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestEncodingETagInterplay is the satellite table test: every
+// (Accept-Encoding, If-None-Match) combination must produce the right
+// status, Content-Encoding, and Vary — and keep doing so across an
+// AdvanceDay boundary for both carried and rebuilt documents. A
+// validator minted for one representation must never 304 the other.
+func TestEncodingETagInterplay(t *testing.T) {
+	s := etagTestServer(t, Config{PageSize: 50})
+	h := s.Handler()
+	before := s.snap.Load()
+	if err := s.AdvanceDay(); err != nil {
+		t.Fatal(err)
+	}
+	after := s.snap.Load()
+
+	// One app the roll left alone (its doc was carried, ETags stable) and
+	// one it touched (rebuilt doc, fresh ETags).
+	same, changed := -1, -1
+	for i := 0; i < before.n && i < after.n && (same < 0 || changed < 0); i++ {
+		if before.ex.RowVer(i) == after.ex.RowVer(i) {
+			if same < 0 {
+				same = i
+			}
+		} else if changed < 0 {
+			changed = i
+		}
+	}
+	if same < 0 || changed < 0 {
+		t.Fatalf("need both carried and rebuilt apps (same=%d changed=%d)", same, changed)
+	}
+
+	for _, target := range []struct {
+		name string
+		path string
+	}{
+		{"carried-detail", "/api/v1/apps/" + strconv.Itoa(same)},
+		{"rebuilt-detail", "/api/v1/apps/" + strconv.Itoa(changed)},
+		{"list-page", "/api/v1/apps?page=0"},
+		{"stats", "/api/v1/stats"},
+	} {
+		t.Run(target.name, func(t *testing.T) {
+			// Establish both representations.
+			id := encGet(t, h, target.path, "identity", "")
+			if id.Code != 200 {
+				t.Fatalf("identity GET: %d", id.Code)
+			}
+			idETag := id.Header().Get("ETag")
+			if ce := id.Header().Get("Content-Encoding"); ce != "" {
+				t.Fatalf("identity GET got Content-Encoding %q", ce)
+			}
+			gz := encGet(t, h, target.path, "gzip", "")
+			if gz.Code != 200 {
+				t.Fatalf("gzip GET: %d", gz.Code)
+			}
+			gzETag := gz.Header().Get("ETag")
+			hasGz := gz.Header().Get("Content-Encoding") == "gzip"
+			if hasGz {
+				if want := strings.TrimSuffix(idETag, `"`) + `-gz"`; gzETag != want {
+					t.Fatalf("gzip ETag %q, want %q", gzETag, want)
+				}
+				plain, err := gzipx.Decompress(gz.Body.Bytes())
+				if err != nil || string(plain) != id.Body.String() {
+					t.Fatalf("gzip body does not inflate to identity body (err %v)", err)
+				}
+			} else if gzETag != idETag {
+				t.Fatalf("identity fallback changed the ETag: %q vs %q", gzETag, idETag)
+			}
+
+			cases := []struct {
+				name       string
+				ae, inm    string
+				wantStatus int
+				wantCE     string
+			}{
+				{"identity-no-validator", "identity", "", 200, ""},
+				{"gzip-no-validator", "gzip", "", 200, ceIf(hasGz)},
+				{"identity-matching-validator", "identity", idETag, 304, ""},
+				{"gzip-matching-validator", "gzip", gzETag, 304, ""},
+				// Cross-encoding validators must NOT revalidate when the
+				// representations differ: the client holds the other
+				// encoding's bytes.
+				{"identity-with-gzip-validator", "identity", gzETag, status(hasGz, 200, 304), ""},
+				{"gzip-with-identity-validator", "gzip", idETag, status(hasGz, 200, 304), ceIf(hasGz)},
+				// List-shaped and weak validators still match per RFC 9110.
+				{"validator-list", "gzip", `"bogus", ` + gzETag, 304, ""},
+				{"weak-validator", "gzip", "W/" + gzETag, 304, ""},
+				{"stale-validator", "gzip", `"stale-etag"`, 200, ceIf(hasGz)},
+				// No Accept-Encoding at all: identity, like any pre-PR client.
+				{"no-accept-encoding", "", idETag, 304, ""},
+			}
+			for _, tc := range cases {
+				t.Run(tc.name, func(t *testing.T) {
+					rec := encGet(t, h, target.path, tc.ae, tc.inm)
+					if rec.Code != tc.wantStatus {
+						t.Fatalf("status %d, want %d", rec.Code, tc.wantStatus)
+					}
+					if ce := rec.Header().Get("Content-Encoding"); ce != tc.wantCE {
+						t.Fatalf("Content-Encoding %q, want %q", ce, tc.wantCE)
+					}
+					if v := rec.Header().Get("Vary"); v != "Accept-Encoding" {
+						t.Fatalf("Vary %q, want Accept-Encoding (status %d)", v, rec.Code)
+					}
+					if rec.Code == 304 && rec.Body.Len() != 0 {
+						t.Fatalf("304 carried %d body bytes", rec.Body.Len())
+					}
+				})
+			}
+		})
+	}
+
+	// The carried doc's pre-roll validators (both encodings) must still
+	// revalidate after the roll; the rebuilt doc's must not.
+	preSame := before.detailDoc(same)
+	if rec := encGet(t, h, "/api/v1/apps/"+strconv.Itoa(same), "identity", preSame.etag); rec.Code != 304 {
+		t.Fatalf("carried identity validator: %d, want 304", rec.Code)
+	}
+	if preSame.gzBody != nil {
+		if rec := encGet(t, h, "/api/v1/apps/"+strconv.Itoa(same), "gzip", preSame.gzEtag); rec.Code != 304 {
+			t.Fatalf("carried gzip validator: %d, want 304", rec.Code)
+		}
+	}
+	preChanged := before.detailDoc(changed)
+	if rec := encGet(t, h, "/api/v1/apps/"+strconv.Itoa(changed), "identity", preChanged.etag); rec.Code != 200 {
+		t.Fatalf("rebuilt identity validator: %d, want 200", rec.Code)
+	}
+	if preChanged.gzBody != nil {
+		if rec := encGet(t, h, "/api/v1/apps/"+strconv.Itoa(changed), "gzip", preChanged.gzEtag); rec.Code != 200 {
+			t.Fatalf("rebuilt gzip validator: %d, want 200", rec.Code)
+		}
+	}
+}
+
+// ceIf returns the expected Content-Encoding for a gzip-negotiated 200.
+func ceIf(hasGz bool) string {
+	if hasGz {
+		return "gzip"
+	}
+	return ""
+}
+
+// status picks the expected status for cross-encoding validators: when
+// the two representations are distinct (hasGz) the mismatched validator
+// must get a 200; when gzip fell back to identity both validators name
+// the same representation and 304 is correct.
+func status(hasGz bool, distinct, collapsed int) int {
+	if hasGz {
+		return distinct
+	}
+	return collapsed
+}

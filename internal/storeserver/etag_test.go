@@ -91,7 +91,7 @@ func TestETagStableAcrossDays(t *testing.T) {
 
 func beforeETag(t *testing.T, sn *snapshot, i int) string {
 	t.Helper()
-	_, etag, _ := sn.detailDoc(i)
+	etag := sn.detailDoc(i).etag
 	if etag == "" || !strings.HasPrefix(etag, `"`) {
 		t.Fatalf("app %d: bad etag %q", i, etag)
 	}
@@ -129,11 +129,14 @@ func TestCarriedDocsShareEncoding(t *testing.T) {
 			t.Fatalf("unchanged app %d: document re-allocated instead of carried", i)
 		}
 		// Carried means the day-0 encoding (and its fill) is reused: the
-		// doc serves without re-running encode.
-		b0, e0, _ := before.detailDoc(i)
-		b1, e1, _ := after.detailDoc(i)
-		if e0 != e1 || &b0[0] != &b1[0] {
-			t.Fatalf("unchanged app %d: carried doc differs (etag %s vs %s)", i, e0, e1)
+		// doc serves without re-running encode — including the gzip
+		// variant built inside the same fill.
+		d0, d1 := before.detailDoc(i), after.detailDoc(i)
+		if d0.etag != d1.etag || &d0.body[0] != &d1.body[0] {
+			t.Fatalf("unchanged app %d: carried doc differs (etag %s vs %s)", i, d0.etag, d1.etag)
+		}
+		if d0.gzBody != nil && &d0.gzBody[0] != &d1.gzBody[0] {
+			t.Fatalf("unchanged app %d: gzip variant re-compressed across the roll", i)
 		}
 	}
 	if carried == 0 {

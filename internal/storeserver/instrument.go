@@ -3,7 +3,6 @@ package storeserver
 import (
 	"fmt"
 	"net/http"
-	"time"
 
 	"planetapps/internal/metrics"
 )
@@ -36,7 +35,8 @@ func (s *Server) initMetrics() {
 	s.buildSeconds = s.reg.Histogram("store_snapshot_build_seconds")
 	s.prewarmed = s.reg.Counter("store_prewarm_docs_total")
 	s.routes = map[string]*routeInstruments{}
-	for _, route := range []string{"stats", "list", "detail", "comments", "apk"} {
+	// Index order must match the router's route kinds (rStats..rAPK).
+	for kind, route := range []string{"stats", "list", "detail", "comments", "apk"} {
 		ri := &routeInstruments{
 			route:   route,
 			total:   s.reg.Counter(fmt.Sprintf("store_route_requests_total{route=%q}", route)),
@@ -47,6 +47,7 @@ func (s *Server) initMetrics() {
 			ri.byCode[code] = s.codeCounter(route, code)
 		}
 		s.routes[route] = ri
+		s.routeByKind[kind] = ri
 	}
 }
 
@@ -63,27 +64,6 @@ type statusWriter struct {
 func (w *statusWriter) WriteHeader(code int) {
 	w.code = code
 	w.ResponseWriter.WriteHeader(code)
-}
-
-// instrument wraps one route handler with request counting, in-flight
-// tracking, and service-latency recording.
-func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
-	ri := s.routes[route]
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		s.total.Inc()
-		ri.total.Inc()
-		s.inFlight.Inc()
-		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
-		h(sw, r)
-		s.inFlight.Dec()
-		ri.latency.ObserveSince(start)
-		c, ok := ri.byCode[sw.code]
-		if !ok {
-			c = s.codeCounter(route, sw.code)
-		}
-		c.Inc()
-	})
 }
 
 // Registry exposes the server's metrics registry, served at /metrics by

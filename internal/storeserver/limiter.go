@@ -88,11 +88,17 @@ func (l *limiter) allowWait(key string, now time.Time) (bool, time.Duration) {
 		b = &bucket{tokens: l.burst, last: now}
 		sh.buckets[key] = b
 	}
-	b.tokens += now.Sub(b.last).Seconds() * l.rate
-	if b.tokens > l.burst {
-		b.tokens = l.burst
+	// Concurrent callers sample time.Now before taking the shard lock, so
+	// a request can arrive holding a timestamp older than the bucket's
+	// last refill. A negative elapsed would *drain* tokens (catastrophic
+	// at high rates); credit time only when it moved forward.
+	if el := now.Sub(b.last).Seconds(); el > 0 {
+		b.tokens += el * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
 	}
-	b.last = now
 	if b.tokens < 1 {
 		wait := time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
 		if wait <= 0 {

@@ -127,6 +127,26 @@ func TestLimiterShardedConcurrent(t *testing.T) {
 	}
 }
 
+// TestLimiterClockSkewDoesNotDrain pins the backwards-time fix: requests
+// sample time.Now before taking the shard lock, so under concurrency a
+// bucket can see timestamps out of order. A negative elapsed must be a
+// no-op credit — at high rates it used to *subtract* millions of tokens
+// and 429 an effectively unlimited client.
+func TestLimiterClockSkewDoesNotDrain(t *testing.T) {
+	lim := newLimiter(1e12, 1<<30, time.Minute)
+	now := time.Now()
+	if !lim.allow("skewed", now) {
+		t.Fatal("first request throttled")
+	}
+	for i := 0; i < 1000; i++ {
+		// Each request arrives with a timestamp slightly older than the
+		// bucket's last refill.
+		if !lim.allow("skewed", now.Add(-time.Duration(i+1)*time.Microsecond)) {
+			t.Fatalf("request %d throttled: negative elapsed drained the bucket", i)
+		}
+	}
+}
+
 func TestLimiterStillLimitsPerClient(t *testing.T) {
 	lim := newLimiter(1, 3, time.Minute)
 	now := time.Now()

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"sync"
 
+	"planetapps/internal/gzipx"
 	"planetapps/internal/marketsim"
 )
 
@@ -15,15 +16,29 @@ import (
 // reused across fills instead of re-growing from zero each time.
 var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
-// cachedDoc is one write-once pre-encoded response document. The sync.Once
-// makes the fill single-flight: a cold document is encoded by exactly one
+// cachedDoc is one write-once pre-encoded response document in both its
+// servable representations: identity bytes and, when it pays, a gzip
+// variant compressed once in the same single-flight fill. The sync.Once
+// makes the fill single-flight: a cold document is built by exactly one
 // goroutine while concurrent requests for it wait, and once filled the
-// fields are immutable, so readers never take a lock.
+// fields are immutable, so readers never take a lock. Because the gzip
+// bytes live inside the doc, the cross-snapshot carry (carriedCache)
+// moves them for free: an unchanged app is compressed once per content
+// version, ever, no matter how many day-rolls it survives.
 type cachedDoc struct {
 	once sync.Once
 	body []byte
 	etag string
 	clen string // pre-rendered Content-Length
+
+	// The gzip representation. gzBody is nil when compression does not
+	// shrink the document (tiny stats/comments bodies), in which case
+	// negotiation falls back to identity. gzEtag is the identity ETag with
+	// a "-gz" suffix inside the quotes: per-encoding ETags so a cached 304
+	// validator can only match the representation it was minted for.
+	gzBody []byte
+	gzEtag string
+	gzClen string
 }
 
 // fill encodes the document on first use. encode writes the JSON body
@@ -31,7 +46,7 @@ type cachedDoc struct {
 // function of the document's content (not of which snapshot is serving
 // it), because a carried-forward document keeps the ETag its first
 // snapshot computed.
-func (d *cachedDoc) fill(encode func(buf *bytes.Buffer) (etag string)) (body []byte, etag, clen string) {
+func (d *cachedDoc) fill(encode func(buf *bytes.Buffer) (etag string)) *cachedDoc {
 	d.once.Do(func() {
 		buf := bufPool.Get().(*bytes.Buffer)
 		buf.Reset()
@@ -39,8 +54,23 @@ func (d *cachedDoc) fill(encode func(buf *bytes.Buffer) (etag string)) (body []b
 		d.body = append(make([]byte, 0, buf.Len()), buf.Bytes()...)
 		d.clen = strconv.Itoa(len(d.body))
 		bufPool.Put(buf)
+		if gz := gzipx.Compress(d.body); len(gz) < len(d.body) {
+			d.gzBody = gz
+			d.gzEtag = gzETag(d.etag)
+			d.gzClen = strconv.Itoa(len(gz))
+		}
 	})
-	return d.body, d.etag, d.clen
+	return d
+}
+
+// gzETag derives the gzip representation's ETag from the identity one:
+// `"p0-n100-v42"` becomes `"p0-n100-v42-gz"`. Both are pure functions of
+// the document content, so both survive day-roll carries unchanged.
+func gzETag(etag string) string {
+	if len(etag) < 2 || etag[len(etag)-1] != '"' {
+		return etag + "-gz"
+	}
+	return etag[:len(etag)-1] + `-gz"`
 }
 
 // docChunk groups cache entries into fixed pointer blocks, sized to match
@@ -173,9 +203,9 @@ func carriedCache(n int, prev *respCache, sameChunk func(c int) bool, keepMask f
 
 func (c *respCache) docAt(i int) *cachedDoc { return c.chunks[i/docChunk][i%docChunk] }
 
-// get returns document i, encoding it on first use. Callers must
-// bounds-check i against the snapshot before calling.
-func (c *respCache) get(i int, encode func(buf *bytes.Buffer) (etag string)) (body []byte, etag, clen string) {
+// get returns document i, encoding (and pre-compressing) it on first use.
+// Callers must bounds-check i against the snapshot before calling.
+func (c *respCache) get(i int, encode func(buf *bytes.Buffer) (etag string)) *cachedDoc {
 	return c.docAt(i).fill(encode)
 }
 

@@ -1,0 +1,296 @@
+package storeserver
+
+import (
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is the zero-allocation request router. go1.22's ServeMux costs
+// two pattern matches and a wildcard-segment slice per request, then every
+// handler pays url.Values for the query and Header.Set's one-element slice
+// per header. For a route set this small and this fixed — five resources,
+// two API dialects, all GET — a hand-rolled parse does the same dispatch
+// with zero heap traffic: path matching is substring compares, the app ID
+// is parsed in place, query lookup scans RawQuery without building a map,
+// and status capture comes from a sync.Pool. Combined with the
+// pre-rendered header values elsewhere, a warm cache hit performs no
+// allocations at all (pinned by allocbudget_test.go).
+
+// Route kinds, in the order of the routeByKind instrument table.
+const (
+	rStats = iota
+	rList
+	rDetail
+	rComments
+	rAPK
+	rNone
+)
+
+// parseAPIPath matches one of the fixed API paths:
+//
+//	/api[/v1]/stats
+//	/api[/v1]/apps
+//	/api[/v1]/apps/{id}[/comments|/apk]
+//
+// kind is rNone for anything else. For the {id} routes, id/idOK report the
+// parsed non-negative int32 (idOK false = the segment was present but not
+// a valid ID — the caller answers 400 in the dialect of the surface).
+func parseAPIPath(p string) (kind int, v1 bool, id int32, idOK bool) {
+	if !strings.HasPrefix(p, "/api/") {
+		return rNone, false, 0, false
+	}
+	rest := p[len("/api"):]
+	if strings.HasPrefix(rest, "/v1/") {
+		v1 = true
+		rest = rest[len("/v1"):]
+	}
+	switch rest {
+	case "/stats":
+		return rStats, v1, 0, false
+	case "/apps":
+		return rList, v1, 0, false
+	}
+	if !strings.HasPrefix(rest, "/apps/") {
+		return rNone, v1, 0, false
+	}
+	seg := rest[len("/apps/"):]
+	tail := ""
+	if i := strings.IndexByte(seg, '/'); i >= 0 {
+		seg, tail = seg[:i], seg[i:]
+	}
+	if seg == "" {
+		return rNone, v1, 0, false
+	}
+	switch tail {
+	case "":
+		kind = rDetail
+	case "/comments":
+		kind = rComments
+	case "/apk":
+		kind = rAPK
+	default:
+		return rNone, v1, 0, false
+	}
+	id, idOK = parseAppID(seg)
+	return kind, v1, id, idOK
+}
+
+// parseAppID parses a decimal non-negative int32 without strconv's
+// error-object allocation on the failure path.
+func parseAppID(s string) (int32, bool) {
+	if len(s) == 0 || len(s) > 10 {
+		return 0, false
+	}
+	var v int64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int64(c-'0')
+	}
+	if v > math.MaxInt32 {
+		return 0, false
+	}
+	return int32(v), true
+}
+
+// queryValue finds key's first value in a raw query string without
+// building url.Values. found distinguishes "absent" from "present but
+// empty" (?cursor= means "start a cursor walk"). Percent- or
+// plus-escaped values take a slow path through url.QueryUnescape; the
+// values the API defines (digits, base64url cursors) never need it.
+func queryValue(rawQuery, key string) (value string, found bool) {
+	for i := 0; i < len(rawQuery); {
+		start := i
+		for i < len(rawQuery) && rawQuery[i] != '&' {
+			i++
+		}
+		pair := rawQuery[start:i]
+		i++
+		if !strings.HasPrefix(pair, key) {
+			continue
+		}
+		switch {
+		case len(pair) == len(key):
+			return "", true
+		case pair[len(key)] == '=':
+			v := pair[len(key)+1:]
+			if strings.IndexByte(v, '%') >= 0 || strings.IndexByte(v, '+') >= 0 {
+				if u, err := url.QueryUnescape(v); err == nil {
+					return u, true
+				}
+			}
+			return v, true
+		}
+	}
+	return "", false
+}
+
+// hset sets a single-valued header without allocating when the header map
+// already holds a slot for the key — the case for every pooled writer and
+// every recycled connection — by writing into the existing one-element
+// slice instead of replacing it. key must already be in canonical MIME
+// form ("Etag", not "ETag"): textproto canonicalization is what
+// Header.Set does before the map write, and what Header.Get does on read,
+// so precanonicalized constants keep both sides allocation-free.
+func hset(h http.Header, key, value string) {
+	if vs := h[key]; len(vs) == 1 {
+		vs[0] = value
+		return
+	}
+	h[key] = []string{value}
+}
+
+// Canonical-form header keys for hset. Go canonicalizes "ETag" to "Etag"
+// and "X-API-Version" to "X-Api-Version"; clients read through
+// Header.Get, which canonicalizes the same way, so the wire casing below
+// is exactly what Header.Set has always produced.
+const (
+	hdrETag            = "Etag"
+	hdrStoreDay        = "X-Store-Day"
+	hdrContentType     = "Content-Type"
+	hdrContentLength   = "Content-Length"
+	hdrContentEncoding = "Content-Encoding"
+	hdrVary            = "Vary"
+	hdrAPIVersion      = "X-Api-Version"
+	hdrCacheControl    = "Cache-Control"
+	hdrAge             = "Age"
+)
+
+// etagMatch implements If-None-Match per RFC 9110: an exact match, a
+// wildcard, or membership in a comma-separated list, using weak
+// comparison (a W/ prefix on either side is ignored). The single-tag
+// exact case — every conditional crawler in this repo — is one string
+// compare; the list walk allocates nothing either.
+func etagMatch(inm, etag string) bool {
+	if inm == "" {
+		return false
+	}
+	if inm == etag || inm == "*" {
+		return true
+	}
+	for i := 0; i < len(inm); {
+		start := i
+		for i < len(inm) && inm[i] != ',' {
+			i++
+		}
+		tag := inm[start:i]
+		i++
+		for len(tag) > 0 && (tag[0] == ' ' || tag[0] == '\t') {
+			tag = tag[1:]
+		}
+		for len(tag) > 0 && (tag[len(tag)-1] == ' ' || tag[len(tag)-1] == '\t') {
+			tag = tag[:len(tag)-1]
+		}
+		if strings.HasPrefix(tag, "W/") {
+			tag = tag[2:]
+		}
+		if tag == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// swPool recycles status-capturing writers; the wrapper struct was one of
+// the per-request allocations the old instrument middleware paid.
+var swPool = sync.Pool{New: func() any { return new(statusWriter) }}
+
+// route is the API dispatcher: parse, instrument, dispatch. Unknown paths
+// 404 and wrong methods 405 exactly as the old ServeMux tree did;
+// instruments count only matched routes, as before.
+func (s *Server) route(w http.ResponseWriter, r *http.Request) {
+	kind, v1, id, idOK := parseAPIPath(r.URL.Path)
+	if kind == rNone {
+		http.NotFound(w, r)
+		return
+	}
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "Method Not Allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	ri := s.routeByKind[kind]
+	start := time.Now()
+	s.total.Inc()
+	ri.total.Inc()
+	s.inFlight.Inc()
+	sw := swPool.Get().(*statusWriter)
+	sw.ResponseWriter, sw.code = w, http.StatusOK
+	s.dispatch(sw, r, kind, v1, id, idOK)
+	s.inFlight.Dec()
+	ri.latency.ObserveSince(start)
+	c, ok := ri.byCode[sw.code]
+	if !ok {
+		c = s.codeCounter(ri.route, sw.code)
+	}
+	c.Inc()
+	sw.ResponseWriter = nil
+	swPool.Put(sw)
+}
+
+// dispatch hands the matched route to its handler. The snapshot is loaded
+// exactly once here and threaded through, so one response can never mix
+// two days.
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind int, v1 bool, id int32, idOK bool) {
+	sn := s.snap.Load()
+	switch kind {
+	case rStats:
+		if v1 {
+			s.v1Doc(w, r, sn, sn.statsDoc())
+		} else {
+			serveDoc(w, r, sn, sn.statsDoc(), false)
+		}
+	case rList:
+		if v1 {
+			s.handleListV1(w, r, sn)
+		} else {
+			s.handleList(w, r, sn)
+		}
+	default: // rDetail, rComments, rAPK
+		if !idOK {
+			if v1 {
+				writeV1Error(w, http.StatusBadRequest, "bad_app_id",
+					"app id must be a non-negative integer", 0)
+			} else {
+				http.Error(w, "bad app id", http.StatusBadRequest)
+			}
+			return
+		}
+		if int(id) >= sn.n {
+			if v1 {
+				writeV1Error(w, http.StatusNotFound, "app_not_found",
+					"no app with id "+strconv.FormatInt(int64(id), 10), 0)
+			} else {
+				http.Error(w, "no such app", http.StatusNotFound)
+			}
+			return
+		}
+		switch kind {
+		case rDetail:
+			if v1 {
+				s.v1Doc(w, r, sn, sn.detailDoc(int(id)))
+			} else {
+				serveDoc(w, r, sn, sn.detailDoc(int(id)), false)
+			}
+		case rComments:
+			if v1 {
+				s.v1Doc(w, r, sn, sn.commentsDoc(int(id)))
+			} else {
+				serveDoc(w, r, sn, sn.commentsDoc(int(id)), false)
+			}
+		case rAPK:
+			if v1 {
+				hset(w.Header(), hdrAPIVersion, apiVersion)
+				s.freshness(w.Header(), sn)
+			}
+			s.handleAPK(w, r, sn, id)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package storeserver
 import (
 	"bytes"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"planetapps/internal/catalog"
@@ -31,8 +32,11 @@ type snapshot struct {
 	store  string
 
 	// builtAt anchors the Age header on /api/v1 responses: the freshness
-	// clock starts at snapshot publish, not at request time.
+	// clock starts at snapshot publish, not at request time. age caches
+	// the rendered header value so the hot path re-renders it at most once
+	// per elapsed second instead of per request (see ageString).
 	builtAt time.Time
+	age     atomic.Pointer[ageVal]
 
 	ex       *marketsim.Export
 	n        int // ex.NumApps()
@@ -189,9 +193,32 @@ func (sn *snapshot) appJSON(i int) AppJSON {
 	}
 }
 
+// ageVal is one rendered Age header value, cached per snapshot so the
+// serving path allocates for it at most once per elapsed second.
+type ageVal struct {
+	sec int64
+	str string
+}
+
+// ageString renders seconds-since-publish for the Age header through the
+// snapshot's single-entry cache: requests landing in the same wall-clock
+// second — all of them, at 100k+ req/s — share one rendered string.
+func (sn *snapshot) ageString() string {
+	sec := int64(time.Since(sn.builtAt) / time.Second)
+	if sec <= 0 {
+		return "0"
+	}
+	if v := sn.age.Load(); v != nil && v.sec == sec {
+		return v.str
+	}
+	v := &ageVal{sec: sec, str: strconv.FormatInt(sec, 10)}
+	sn.age.Store(v)
+	return v.str
+}
+
 // statsDoc returns the pre-summed store statistics document. The total was
 // accumulated incrementally by the market, so serving it is O(1).
-func (sn *snapshot) statsDoc() (body []byte, etag, clen string) {
+func (sn *snapshot) statsDoc() *cachedDoc {
 	return sn.stats.get(0, func(buf *bytes.Buffer) string {
 		encodeJSON(buf, StatsJSON{
 			Store:          sn.store,
@@ -206,7 +233,7 @@ func (sn *snapshot) statsDoc() (body []byte, etag, clen string) {
 // listDoc returns listing page p (caller bounds-checks p < sn.pages). The
 // ETag encodes the catalog size and the spanned chunk versions — the
 // page's content version — so an untouched page revalidates across days.
-func (sn *snapshot) listDoc(p int) (body []byte, etag, clen string) {
+func (sn *snapshot) listDoc(p int) *cachedDoc {
 	return sn.list.get(p, func(buf *bytes.Buffer) string {
 		lo := p * sn.pageSize
 		hi := lo + sn.pageSize
@@ -235,7 +262,7 @@ func (sn *snapshot) listDoc(p int) (body []byte, etag, clen string) {
 // row version — which advances only when the app's servable content
 // (row fields or download count) changes — so an unchanged app keeps its
 // ETag across day-rolls and a conditional crawler gets a true 304.
-func (sn *snapshot) detailDoc(i int) (body []byte, etag, clen string) {
+func (sn *snapshot) detailDoc(i int) *cachedDoc {
 	return sn.detail.get(i, func(buf *bytes.Buffer) string {
 		encodeJSON(buf, sn.appJSON(i))
 		return `"a` + strconv.Itoa(i) + `-r` + strconv.FormatUint(uint64(sn.ex.RowVer(i)), 10) + `"`
@@ -243,7 +270,7 @@ func (sn *snapshot) detailDoc(i int) (body []byte, etag, clen string) {
 }
 
 // commentsDoc returns app i's comment stream document.
-func (sn *snapshot) commentsDoc(i int) (body []byte, etag, clen string) {
+func (sn *snapshot) commentsDoc(i int) *cachedDoc {
 	return sn.comDocs.get(i, func(buf *bytes.Buffer) string {
 		cs := sn.comments[catalog.AppID(i)]
 		if cs == nil {

@@ -29,6 +29,7 @@ import (
 	"planetapps/internal/catalog"
 	"planetapps/internal/comments"
 	"planetapps/internal/faultinject"
+	"planetapps/internal/gzipx"
 	"planetapps/internal/marketsim"
 	"planetapps/internal/metrics"
 )
@@ -141,6 +142,14 @@ type Server struct {
 	limited  *metrics.Counter
 	inFlight *metrics.Gauge
 
+	// routeByKind indexes the same instruments by the router's route kind
+	// so dispatch never hashes a route-name string on the request path.
+	routeByKind [rNone]*routeInstruments
+
+	// ccValue is the pre-rendered Cache-Control header value for v1
+	// responses ("max-age=N"), fixed by config at construction.
+	ccValue string
+
 	// Snapshot-build telemetry: documents carried forward vs allocated
 	// fresh per publish, the build duration, and documents encoded by the
 	// post-swap pre-warm.
@@ -160,6 +169,14 @@ func New(m *marketsim.Market, cfg Config) *Server {
 		cfg:    cfg,
 		market: m,
 	}
+	var maxAge int64
+	switch {
+	case cfg.DayInterval > 0:
+		maxAge = int64((cfg.DayInterval + time.Second - 1) / time.Second)
+	case cfg.FreshFor > 0:
+		maxAge = int64((cfg.FreshFor + time.Second - 1) / time.Second)
+	}
+	s.ccValue = "max-age=" + strconv.FormatInt(maxAge, 10)
 	s.initMetrics()
 	s.publish()
 	if cfg.RatePerSec > 0 {
@@ -224,30 +241,30 @@ func (s *Server) Day() int {
 // telemetry endpoint. The legacy /api routes and the versioned /api/v1
 // routes share the same route instruments and the same pre-encoded
 // documents — /api/v1 differs only in error rendering (JSON envelope),
-// honest Retry-After values, cursor pagination, and the X-API-Version
-// header. /metrics sits outside both the rate limiter and the fault
-// injector so a scraper is never 429'd (or chaos-injected) by the
-// workload it is observing.
+// honest Retry-After values, cursor pagination, content negotiation, and
+// the X-API-Version header. Dispatch goes through the zero-alloc parser
+// in router.go instead of ServeMux (see the file comment there). /metrics
+// sits outside both the rate limiter and the fault injector so a scraper
+// is never 429'd (or chaos-injected) by the workload it is observing.
 func (s *Server) Handler() http.Handler {
-	api := http.NewServeMux()
-	api.Handle("GET /api/stats", s.instrument("stats", s.handleStats))
-	api.Handle("GET /api/apps", s.instrument("list", s.handleList))
-	api.Handle("GET /api/apps/{id}", s.instrument("detail", s.handleApp))
-	api.Handle("GET /api/apps/{id}/comments", s.instrument("comments", s.handleComments))
-	api.Handle("GET /api/apps/{id}/apk", s.instrument("apk", s.handleAPK))
-	api.Handle("GET /api/v1/stats", s.instrument("stats", s.handleStatsV1))
-	api.Handle("GET /api/v1/apps", s.instrument("list", s.handleListV1))
-	api.Handle("GET /api/v1/apps/{id}", s.instrument("detail", s.handleAppV1))
-	api.Handle("GET /api/v1/apps/{id}/comments", s.instrument("comments", s.handleCommentsV1))
-	api.Handle("GET /api/v1/apps/{id}/apk", s.instrument("apk", s.handleAPKV1))
-	var inner http.Handler = api
+	var inner http.Handler = http.HandlerFunc(s.route)
 	if s.chaos != nil {
 		inner = s.chaos.Wrap(inner)
 	}
-	mux := http.NewServeMux()
-	mux.Handle("GET /metrics", s.reg.Handler())
-	mux.Handle("/", s.limit(inner))
-	return mux
+	api := s.limit(inner)
+	metricsH := s.reg.Handler()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" {
+			if r.Method != http.MethodGet && r.Method != http.MethodHead {
+				w.Header().Set("Allow", "GET, HEAD")
+				http.Error(w, "Method Not Allowed", http.StatusMethodNotAllowed)
+				return
+			}
+			metricsH.ServeHTTP(w, r)
+			return
+		}
+		api.ServeHTTP(w, r)
+	})
 }
 
 // limit applies per-client token-bucket rate limiting. A rejected legacy
@@ -303,70 +320,60 @@ func clientKey(r *http.Request) string {
 // revalidation. X-Store-Day identifies the serving snapshot so a client
 // (or the consistency stress test) can correlate a response with exactly
 // one simulated day.
-func serveDoc(w http.ResponseWriter, r *http.Request, sn *snapshot, body []byte, etag, clen string) {
+//
+// With negotiate set (the /api/v1 surface), the response picks between
+// the document's two snapshot-time representations by Accept-Encoding:
+// clients admitting gzip get the pre-compressed bytes with
+// Content-Encoding: gzip and the representation's own "-gz" ETag, so
+// If-None-Match validators only ever match the encoding they were minted
+// for; Vary: Accept-Encoding marks the choice on 200s and 304s alike.
+// The legacy /api surface stays identity-only — its responses have been
+// byte-frozen since PR 5 and remain so on the wire.
+func serveDoc(w http.ResponseWriter, r *http.Request, sn *snapshot, d *cachedDoc, negotiate bool) {
 	h := w.Header()
-	h.Set("ETag", etag)
-	h.Set("X-Store-Day", sn.dayStr)
-	if r.Header.Get("If-None-Match") == etag {
+	body, etag, clen := d.body, d.etag, d.clen
+	gz := false
+	if negotiate {
+		hset(h, hdrVary, "Accept-Encoding")
+		if d.gzBody != nil && gzipx.AcceptsGzip(r.Header.Get("Accept-Encoding")) {
+			body, etag, clen, gz = d.gzBody, d.gzEtag, d.gzClen, true
+		}
+	}
+	hset(h, hdrETag, etag)
+	hset(h, hdrStoreDay, sn.dayStr)
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	h.Set("Content-Type", "application/json")
-	h.Set("Content-Length", clen)
+	if gz {
+		hset(h, hdrContentEncoding, "gzip")
+	}
+	hset(h, hdrContentType, "application/json")
+	hset(h, hdrContentLength, clen)
 	w.Write(body) //nolint:errcheck // client gone; nothing useful to do
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	sn := s.snap.Load()
-	body, etag, clen := sn.statsDoc()
-	serveDoc(w, r, sn, body, etag, clen)
-}
-
-func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request, sn *snapshot) {
 	page := 0
-	if p := r.URL.Query().Get("page"); p != "" {
-		v, err := strconv.Atoi(p)
-		if err != nil || v < 0 {
+	if p, ok := queryValue(r.URL.RawQuery, "page"); ok && p != "" {
+		v, ok := parsePage(p)
+		if !ok {
 			http.Error(w, "bad page", http.StatusBadRequest)
 			return
 		}
 		page = v
 	}
-	sn := s.snap.Load()
 	if page >= sn.pages {
 		http.Error(w, "page out of range", http.StatusNotFound)
 		return
 	}
-	body, etag, clen := sn.listDoc(page)
-	serveDoc(w, r, sn, body, etag, clen)
+	serveDoc(w, r, sn, sn.listDoc(page), false)
 }
 
-func (s *Server) handleApp(w http.ResponseWriter, r *http.Request) {
-	id, ok := s.pathID(w, r)
-	if !ok {
-		return
-	}
-	sn := s.snap.Load()
-	if int(id) >= sn.n {
-		http.Error(w, "no such app", http.StatusNotFound)
-		return
-	}
-	body, etag, clen := sn.detailDoc(int(id))
-	serveDoc(w, r, sn, body, etag, clen)
-}
-
-func (s *Server) handleComments(w http.ResponseWriter, r *http.Request) {
-	id, ok := s.pathID(w, r)
-	if !ok {
-		return
-	}
-	sn := s.snap.Load()
-	if int(id) >= sn.n {
-		http.Error(w, "no such app", http.StatusNotFound)
-		return
-	}
-	body, etag, clen := sn.commentsDoc(int(id))
-	serveDoc(w, r, sn, body, etag, clen)
+// parsePage parses a non-negative int without strconv's error allocation.
+func parsePage(s string) (int, bool) {
+	v, ok := parseAppID(s)
+	return int(v), ok
 }
 
 // apkScale converts an app's SizeMB into served bytes. Full-size APK
@@ -382,20 +389,11 @@ const apkScale = 1024
 // ("we download each app version only once"). Unlike the JSON documents the
 // body is streamed, not cached: APKs are the one payload large enough that
 // caching every warm one would swamp the snapshot's footprint.
-func (s *Server) handleAPK(w http.ResponseWriter, r *http.Request) {
-	id, ok := s.pathID(w, r)
-	if !ok {
-		return
-	}
-	sn := s.snap.Load()
-	if int(id) >= sn.n {
-		http.Error(w, "no such app", http.StatusNotFound)
-		return
-	}
+func (s *Server) handleAPK(w http.ResponseWriter, r *http.Request, sn *snapshot, id int32) {
 	a := sn.ex.App(int(id))
 	etag := `"v` + strconv.Itoa(a.Versions) + `"`
 	w.Header().Set("ETag", etag)
-	if r.Header.Get("If-None-Match") == etag {
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
@@ -427,13 +425,4 @@ func (s *Server) handleAPK(w http.ResponseWriter, r *http.Request) {
 		}
 		size -= n
 	}
-}
-
-func (s *Server) pathID(w http.ResponseWriter, r *http.Request) (int32, bool) {
-	v, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
-	if err != nil || v < 0 {
-		http.Error(w, "bad app id", http.StatusBadRequest)
-		return 0, false
-	}
-	return int32(v), true
 }
