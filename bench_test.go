@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -525,6 +526,45 @@ func BenchmarkAdvanceDayExport(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkDayRollWarmArena measures the arena-backed snapshot lifecycle
+// under its production rhythm: fully warmed document caches, a day-roll,
+// then a re-warm that refills only the churned documents. Each iteration
+// exercises the carry path (handle blocks shared wholesale, changed docs
+// re-encoded into the fresh arena), arena retention across generations,
+// and — as dead bytes accumulate — compaction and slab recycling. The
+// slabs_live metric makes an arena leak visible in the CI log: it must
+// plateau, not grow with b.N.
+func BenchmarkDayRollWarmArena(b *testing.B) {
+	const n = 10_000
+	m := dayRollMarket(b, n)
+	s := storeserver.New(m, storeserver.Config{PageSize: 100})
+	h := s.Handler()
+	w := &discardWriter{h: http.Header{}}
+	warm := func() {
+		for i := 0; i < n; i += 7 {
+			req := httptest.NewRequest(http.MethodGet, "/api/apps/"+strconv.Itoa(i), nil)
+			w.status = 0
+			h.ServeHTTP(w, req)
+			if w.status != 0 && w.status != http.StatusOK {
+				b.Fatalf("status %d", w.status)
+			}
+		}
+	}
+	warm()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.AdvanceDay(); err != nil {
+			b.Fatal(err)
+		}
+		warm()
+	}
+	b.StopTimer()
+	ar := s.Arena()
+	b.ReportMetric(float64(ar.SlabsLive), "slabs_live")
+	b.ReportMetric(float64(ar.SlabsReused), "slabs_reused")
 }
 
 // BenchmarkMarketDay measures one simulated market day on the anzhi

@@ -1,0 +1,262 @@
+// Command gcbench measures what the Go collector costs the serving tier
+// at a given catalog size: it builds a store, force-fills every cached
+// document (stats, every listing page, every app detail, every comment
+// stream — identity and gzip representations alike), then drives a warm
+// in-process load while rolling simulated days, sampling
+// runtime/metrics (via internal/gcstats) at the phase boundaries.
+//
+// The output JSON records live heap objects/bytes after the fill (what
+// the mark phase must trace to keep a full snapshot hot) and the GC
+// cycle count, CPU share, and pause distribution over the serving
+// window — the before/after evidence for arena-backed snapshot storage.
+//
+// Usage:
+//
+//	gcbench -apps 100000 -duration 30s -roll-every 2s -out bench.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"planetapps"
+	"planetapps/internal/catalog"
+	"planetapps/internal/gcstats"
+	"planetapps/internal/marketsim"
+	"planetapps/internal/storeserver"
+)
+
+type gcBlock struct {
+	Cycles       uint64  `json:"cycles"`
+	Pauses       uint64  `json:"pauses"`
+	PauseTotalMS float64 `json:"pause_total_ms"`
+	PauseP50US   float64 `json:"pause_p50_us"`
+	PauseP99US   float64 `json:"pause_p99_us"`
+	CPUFraction  float64 `json:"cpu_fraction"`
+}
+
+func window(d gcstats.Stats) gcBlock {
+	return gcBlock{
+		Cycles:       d.Cycles,
+		Pauses:       d.Pauses(),
+		PauseTotalMS: float64(d.PauseTotal()) / 1e6,
+		PauseP50US:   float64(d.PauseQuantile(0.50)) / 1e3,
+		PauseP99US:   float64(d.PauseQuantile(0.99)) / 1e3,
+		CPUFraction:  d.CPUFraction(),
+	}
+}
+
+type result struct {
+	Apps     int    `json:"apps"`
+	Pages    int    `json:"pages"`
+	Docs     int    `json:"docs"`
+	GoMaxProcs int  `json:"gomaxprocs"`
+	FillSec  float64 `json:"fill_sec"`
+
+	// Heap occupancy after the fill and a forced GC: what a fully hot
+	// snapshot costs the mark phase. BaselineObjects is the same reading
+	// taken after the market was built but before any document was
+	// encoded, so the difference attributes objects to the doc caches.
+	BaselineObjects uint64  `json:"baseline_heap_objects"`
+	BaselineMB      float64 `json:"baseline_heap_mb"`
+	FilledObjects   uint64  `json:"filled_heap_objects"`
+	FilledMB        float64 `json:"filled_heap_mb"`
+	CacheObjects    int64   `json:"cache_heap_objects"`
+
+	// The serving window: warm hits with day-rolls in flight.
+	ServeSec      float64 `json:"serve_sec"`
+	Requests      int64   `json:"requests"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	Rolls         int     `json:"rolls"`
+	RollMSMean    float64 `json:"roll_ms_mean"`
+	ServeGC       gcBlock `json:"serve_gc"`
+
+	Arena *storeserver.ArenaStats `json:"arena,omitempty"`
+}
+
+// sink is a no-op ResponseWriter: gcbench measures the server's side of
+// the exchange, not response transport.
+type sink struct{ h http.Header }
+
+func (s *sink) Header() http.Header         { return s.h }
+func (s *sink) Write(p []byte) (int, error) { return len(p), nil }
+func (s *sink) WriteHeader(int)             {}
+
+func get(h http.Handler, w *sink, path string) {
+	r := httptest.NewRequest(http.MethodGet, path, nil)
+	clear(w.h)
+	h.ServeHTTP(w, r)
+}
+
+func main() {
+	var (
+		apps      = flag.Int("apps", 100000, "catalog size to build")
+		users     = flag.Int("users", 20000, "simulated user population (bounds sim cost, not catalog size)")
+		comments  = flag.Int("comments", 0, "commenting user population (0 = empty comment docs)")
+		duration  = flag.Duration("duration", 30*time.Second, "serving window length")
+		rollEvery = flag.Duration("roll-every", 2*time.Second, "AdvanceDay interval during the serving window (0 = no rolls)")
+		workers   = flag.Int("workers", 2, "concurrent serving goroutines")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		out       = flag.String("out", "", "write the JSON result here (default stdout)")
+	)
+	flag.Parse()
+
+	// Scale the anzhi profile's catalog to the requested size but pin the
+	// user population: gcbench measures serving-side GC cost, and scaling
+	// users with apps would spend the run budget simulating downloads.
+	prof := catalog.Profiles["anzhi"].Scale(float64(*apps) / 6000.0)
+	prof.Apps = *apps
+	if prof.Users > *users {
+		prof.Users = *users
+	}
+	prof.DownloadsPerUser = 4
+	cfg := planetapps.DefaultMarketConfig(prof)
+	cfg.Days = int(*duration / *rollEvery) + 10
+	cfg.DisableSeries = true
+
+	log.Printf("gcbench: building %d-app market", *apps)
+	m, err := marketsim.New(cfg, *seed)
+	if err != nil {
+		log.Fatalf("gcbench: %v", err)
+	}
+	srv := storeserver.New(m, storeserver.Config{PageSize: 100, FreshFor: time.Minute})
+	if *comments > 0 {
+		cs, err := planetapps.GenerateComments(m.Catalog(), *comments, *seed+1)
+		if err != nil {
+			log.Fatalf("gcbench: comments: %v", err)
+		}
+		srv.SetComments(cs)
+	}
+	h := srv.Handler()
+	n := m.Catalog().NumApps()
+	pages := (n + 99) / 100
+
+	runtime.GC()
+	baseline := gcstats.Read()
+
+	// Force-fill every document through the public handler so both
+	// representations (identity + gzip) of every doc are encoded.
+	log.Printf("gcbench: filling %d docs (%d pages)", 2*n+pages+1, pages)
+	fillStart := time.Now()
+	w := &sink{h: make(http.Header, 16)}
+	get(h, w, "/api/v1/stats")
+	for p := 0; p < pages; p++ {
+		get(h, w, "/api/v1/apps?page="+strconv.Itoa(p))
+	}
+	for i := 0; i < n; i++ {
+		id := strconv.Itoa(i)
+		get(h, w, "/api/v1/apps/"+id)
+		get(h, w, "/api/v1/apps/"+id+"/comments")
+	}
+	fillSec := time.Since(fillStart).Seconds()
+	runtime.GC()
+	filled := gcstats.Read()
+
+	// Serving window: warm hits spread over the routes while days roll.
+	var requests atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for wk := 0; wk < *workers; wk++ {
+		wg.Add(1)
+		go func(state uint64) {
+			defer wg.Done()
+			w := &sink{h: make(http.Header, 16)}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// xorshift: cheap deterministic route/id mix
+				state ^= state << 13
+				state ^= state >> 7
+				state ^= state << 17
+				i := int(state % uint64(n))
+				switch state % 10 {
+				case 0:
+					get(h, w, "/api/v1/apps?page="+strconv.Itoa(i%pages))
+				case 1:
+					get(h, w, "/api/v1/apps/"+strconv.Itoa(i)+"/comments")
+				default:
+					get(h, w, "/api/v1/apps/"+strconv.Itoa(i))
+				}
+				requests.Add(1)
+			}
+		}(uint64(wk)*2654435761 + 1)
+	}
+
+	rolls := 0
+	var rollNS int64
+	serveStart := time.Now()
+	gcServeStart := gcstats.Read()
+	if *rollEvery > 0 {
+		t := time.NewTicker(*rollEvery)
+		for time.Since(serveStart) < *duration {
+			<-t.C
+			rs := time.Now()
+			if err := srv.AdvanceDay(); err != nil {
+				log.Printf("gcbench: roll: %v", err)
+				break
+			}
+			rollNS += time.Since(rs).Nanoseconds()
+			rolls++
+		}
+		t.Stop()
+	} else {
+		time.Sleep(*duration)
+	}
+	close(stop)
+	wg.Wait()
+	serveSec := time.Since(serveStart).Seconds()
+	gcServe := gcstats.Read().Since(gcServeStart)
+
+	res := result{
+		Apps:            n,
+		Pages:           pages,
+		Docs:            2*n + pages + 1,
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		FillSec:         fillSec,
+		BaselineObjects: baseline.HeapObjects,
+		BaselineMB:      float64(baseline.HeapBytes) / (1 << 20),
+		FilledObjects:   filled.HeapObjects,
+		FilledMB:        float64(filled.HeapBytes) / (1 << 20),
+		CacheObjects:    int64(filled.HeapObjects) - int64(baseline.HeapObjects),
+		ServeSec:        serveSec,
+		Requests:        requests.Load(),
+		ThroughputRPS:   float64(requests.Load()) / serveSec,
+		Rolls:           rolls,
+		ServeGC:         window(gcServe),
+	}
+	if rolls > 0 {
+		res.RollMSMean = float64(rollNS) / float64(rolls) / 1e6
+	}
+	if st := srv.Arena(); st.SlabsLive > 0 || st.SlabsPooled > 0 {
+		res.Arena = &st
+	}
+
+	enc, dst := json.NewEncoder(os.Stdout), "stdout"
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("gcbench: %v", err)
+		}
+		defer f.Close()
+		enc, dst = json.NewEncoder(f), *out
+	}
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&res); err != nil {
+		log.Fatalf("gcbench: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "gcbench: %d apps, cache objects %d, serve gc cpu %.4f, wrote %s\n",
+		n, res.CacheObjects, res.ServeGC.CPUFraction, dst)
+}

@@ -1,0 +1,181 @@
+// Package gcstats samples the Go runtime's collector telemetry
+// (runtime/metrics) into a small value type that benchmark harnesses and
+// servers can diff across a measurement window. It exists because the
+// serving tier's remaining cost at large catalog sizes is the GC mark
+// phase itself: to claim that arena-backed snapshot storage "takes the
+// GC out of serving" we need pause distributions, GC CPU share, and
+// live-object counts captured the same way everywhere — loadgen reports,
+// /metrics gauges, CI gates, and the BENCH_* harnesses.
+//
+// All readings come from runtime/metrics, which is lock-free and does
+// not stop the world, so sampling is cheap enough for scrape handlers.
+// Total pause time is estimated from the stop-the-world pause histogram
+// (bucket midpoints); quantiles come from the same histogram.
+package gcstats
+
+import (
+	"math"
+	"runtime/metrics"
+	"time"
+)
+
+// The runtime/metrics keys we sample. /sched/pauses/total/gc is the
+// non-deprecated name for the GC stop-the-world pause histogram.
+const (
+	keyCycles      = "/gc/cycles/total:gc-cycles"
+	keyHeapObjects = "/gc/heap/objects:objects"
+	keyHeapBytes   = "/memory/classes/heap/objects:bytes"
+	keyGCCPU       = "/cpu/classes/gc/total:cpu-seconds"
+	keyTotalCPU    = "/cpu/classes/total:cpu-seconds"
+	keyPauses      = "/sched/pauses/total/gc:seconds"
+)
+
+// Stats is one sample of collector state. Cycles, CPU seconds, and the
+// pause histogram are cumulative since process start; HeapObjects and
+// HeapBytes are instantaneous occupancy. Since turns two samples into a
+// window delta.
+type Stats struct {
+	Cycles          uint64
+	GCCPUSeconds    float64
+	TotalCPUSeconds float64
+	HeapObjects     uint64
+	HeapBytes       uint64
+
+	// The GC stop-the-world pause distribution: PauseCounts[i] pauses
+	// fell in (PauseBounds[i], PauseBounds[i+1]]. Bounds are seconds and
+	// may include ±Inf edge buckets.
+	PauseBounds []float64
+	PauseCounts []uint64
+}
+
+// Read samples the runtime. The histogram is deep-copied so the sample
+// stays valid across later Reads.
+func Read() Stats {
+	samples := []metrics.Sample{
+		{Name: keyCycles},
+		{Name: keyHeapObjects},
+		{Name: keyHeapBytes},
+		{Name: keyGCCPU},
+		{Name: keyTotalCPU},
+		{Name: keyPauses},
+	}
+	metrics.Read(samples)
+	var s Stats
+	s.Cycles = sampleUint(samples[0])
+	s.HeapObjects = sampleUint(samples[1])
+	s.HeapBytes = sampleUint(samples[2])
+	s.GCCPUSeconds = sampleFloat(samples[3])
+	s.TotalCPUSeconds = sampleFloat(samples[4])
+	if samples[5].Value.Kind() == metrics.KindFloat64Histogram {
+		if h := samples[5].Value.Float64Histogram(); h != nil {
+			s.PauseBounds = append([]float64(nil), h.Buckets...)
+			s.PauseCounts = append([]uint64(nil), h.Counts...)
+		}
+	}
+	return s
+}
+
+func sampleUint(s metrics.Sample) uint64 {
+	if s.Value.Kind() == metrics.KindUint64 {
+		return s.Value.Uint64()
+	}
+	return 0
+}
+
+func sampleFloat(s metrics.Sample) float64 {
+	if s.Value.Kind() == metrics.KindFloat64 {
+		return s.Value.Float64()
+	}
+	return 0
+}
+
+// Since returns the window delta end - start: cumulative fields are
+// subtracted (including per-bucket pause counts) while the occupancy
+// fields keep end's instantaneous values. The receiver is the window
+// end; start must come from the same process.
+func (s Stats) Since(start Stats) Stats {
+	d := s
+	d.Cycles -= start.Cycles
+	d.GCCPUSeconds -= start.GCCPUSeconds
+	d.TotalCPUSeconds -= start.TotalCPUSeconds
+	d.PauseCounts = append([]uint64(nil), s.PauseCounts...)
+	for i := range d.PauseCounts {
+		if i < len(start.PauseCounts) && len(start.PauseBounds) == len(s.PauseBounds) {
+			d.PauseCounts[i] -= start.PauseCounts[i]
+		}
+	}
+	return d
+}
+
+// Pauses returns how many stop-the-world pauses the sample covers.
+func (s Stats) Pauses() uint64 {
+	var n uint64
+	for _, c := range s.PauseCounts {
+		n += c
+	}
+	return n
+}
+
+// PauseTotal estimates the summed stop-the-world pause time from the
+// histogram (bucket midpoints; edge buckets use their finite bound).
+func (s Stats) PauseTotal() time.Duration {
+	var sec float64
+	for i, c := range s.PauseCounts {
+		if c == 0 || i+1 >= len(s.PauseBounds) {
+			continue
+		}
+		lo, hi := s.PauseBounds[i], s.PauseBounds[i+1]
+		mid := midpoint(lo, hi)
+		sec += float64(c) * mid
+	}
+	return time.Duration(sec * float64(time.Second))
+}
+
+func midpoint(lo, hi float64) float64 {
+	loInf := math.IsInf(lo, 0)
+	hiInf := math.IsInf(hi, 0)
+	switch {
+	case loInf && hiInf:
+		return 0
+	case loInf:
+		return hi
+	case hiInf:
+		return lo
+	default:
+		return (lo + hi) / 2
+	}
+}
+
+// PauseQuantile returns the q-quantile (0..1) of the pause distribution,
+// reported as the upper bound of the bucket the quantile falls in.
+func (s Stats) PauseQuantile(q float64) time.Duration {
+	total := s.Pauses()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for i, c := range s.PauseCounts {
+		seen += c
+		if seen >= rank && i+1 < len(s.PauseBounds) {
+			hi := s.PauseBounds[i+1]
+			if math.IsInf(hi, 0) {
+				hi = s.PauseBounds[i]
+			}
+			return time.Duration(hi * float64(time.Second))
+		}
+	}
+	return 0
+}
+
+// CPUFraction returns the share of total CPU time the window spent in
+// the collector (0 when the window saw no CPU time at all).
+func (s Stats) CPUFraction() float64 {
+	if s.TotalCPUSeconds <= 0 {
+		return 0
+	}
+	return s.GCCPUSeconds / s.TotalCPUSeconds
+}

@@ -1,0 +1,96 @@
+package gcstats
+
+import (
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"planetapps/internal/metrics"
+)
+
+func TestReadPopulates(t *testing.T) {
+	runtime.GC() // guarantee at least one cycle and one pause
+	s := Read()
+	if s.Cycles == 0 {
+		t.Error("Cycles = 0 after an explicit runtime.GC")
+	}
+	if s.HeapObjects == 0 || s.HeapBytes == 0 {
+		t.Errorf("heap occupancy empty: objects=%d bytes=%d", s.HeapObjects, s.HeapBytes)
+	}
+	if s.TotalCPUSeconds <= 0 {
+		t.Errorf("TotalCPUSeconds = %v, want > 0", s.TotalCPUSeconds)
+	}
+	if len(s.PauseBounds) != len(s.PauseCounts)+1 {
+		t.Fatalf("histogram shape: %d bounds vs %d counts", len(s.PauseBounds), len(s.PauseCounts))
+	}
+	if s.Pauses() == 0 {
+		t.Error("no pauses recorded after an explicit runtime.GC")
+	}
+	if s.PauseTotal() <= 0 {
+		t.Error("PauseTotal = 0 with non-empty histogram")
+	}
+}
+
+func TestSinceDeltas(t *testing.T) {
+	start := Read()
+	for i := 0; i < 4; i++ {
+		runtime.GC()
+	}
+	d := Read().Since(start)
+	if d.Cycles < 4 {
+		t.Errorf("Since: %d cycles across 4 explicit GCs", d.Cycles)
+	}
+	if d.Pauses() == 0 {
+		t.Error("Since: pause histogram delta empty across explicit GCs")
+	}
+	if d.GCCPUSeconds < 0 || d.TotalCPUSeconds <= 0 {
+		t.Errorf("Since: cpu deltas gc=%v total=%v", d.GCCPUSeconds, d.TotalCPUSeconds)
+	}
+	if f := d.CPUFraction(); f < 0 || f > 1 {
+		t.Errorf("CPUFraction = %v, want within [0,1]", f)
+	}
+	// The delta's quantiles must describe only the window: bounded above
+	// by the cumulative distribution's max and monotone in q.
+	if d.PauseQuantile(0.5) > d.PauseQuantile(0.99) {
+		t.Errorf("quantiles not monotone: p50=%v p99=%v", d.PauseQuantile(0.5), d.PauseQuantile(0.99))
+	}
+}
+
+func TestPauseQuantileSynthetic(t *testing.T) {
+	s := Stats{
+		PauseBounds: []float64{math.Inf(-1), 1e-6, 1e-5, 1e-4, math.Inf(1)},
+		PauseCounts: []uint64{0, 90, 9, 1},
+	}
+	if got := s.PauseQuantile(0.50); got != time.Duration(1e-5*1e9) {
+		t.Errorf("p50 = %v, want 10µs", got)
+	}
+	if got := s.PauseQuantile(0.99); got != time.Duration(1e-4*1e9) {
+		t.Errorf("p99 = %v, want 100µs", got)
+	}
+	// The +Inf bucket reports its finite lower bound.
+	if got := s.PauseQuantile(1.0); got != time.Duration(1e-4*1e9) {
+		t.Errorf("p100 = %v, want 100µs (finite bound of +Inf bucket)", got)
+	}
+	if got := s.Pauses(); got != 100 {
+		t.Errorf("Pauses = %d, want 100", got)
+	}
+}
+
+func TestPublishSetsGauges(t *testing.T) {
+	runtime.GC()
+	reg := metrics.NewRegistry()
+	Publish(reg)
+	if v := reg.Gauge("go_gc_heap_objects").Value(); v <= 0 {
+		t.Errorf("go_gc_heap_objects = %d, want > 0", v)
+	}
+	if v := reg.Gauge("go_gc_cycles_total").Value(); v <= 0 {
+		t.Errorf("go_gc_cycles_total = %d, want > 0", v)
+	}
+	var sb strings.Builder
+	reg.WriteText(&sb)
+	if !strings.Contains(sb.String(), "go_gc_pause_p99_ns") {
+		t.Error("exposition missing go_gc_pause_p99_ns")
+	}
+}

@@ -1,0 +1,27 @@
+package gcstats
+
+import "planetapps/internal/metrics"
+
+// Publish samples the runtime and sets the collector gauges on reg.
+// Gauges are int64, so fractional readings pick integer units: pause
+// quantiles in nanoseconds, the GC CPU share in parts per million.
+// Call it from a scrape handler so every /metrics page carries a
+// current view of what the collector costs.
+//
+//	go_gc_cycles_total     completed GC cycles since process start
+//	go_gc_heap_objects     live objects the mark phase must trace
+//	go_gc_heap_bytes       bytes occupied by live heap objects
+//	go_gc_pause_p50_ns     median stop-the-world pause
+//	go_gc_pause_p99_ns     p99 stop-the-world pause
+//	go_gc_pause_total_ns   estimated summed pause time (histogram midpoints)
+//	go_gc_cpu_ppm          share of all CPU time spent in the collector
+func Publish(reg *metrics.Registry) {
+	s := Read()
+	reg.Gauge("go_gc_cycles_total").Set(int64(s.Cycles))
+	reg.Gauge("go_gc_heap_objects").Set(int64(s.HeapObjects))
+	reg.Gauge("go_gc_heap_bytes").Set(int64(s.HeapBytes))
+	reg.Gauge("go_gc_pause_p50_ns").Set(int64(s.PauseQuantile(0.50)))
+	reg.Gauge("go_gc_pause_p99_ns").Set(int64(s.PauseQuantile(0.99)))
+	reg.Gauge("go_gc_pause_total_ns").Set(int64(s.PauseTotal()))
+	reg.Gauge("go_gc_cpu_ppm").Set(int64(s.CPUFraction() * 1e6))
+}

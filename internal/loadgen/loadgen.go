@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"planetapps/internal/gcstats"
 	"planetapps/internal/metrics"
 	"planetapps/internal/model"
 )
@@ -190,6 +191,10 @@ type Generator struct {
 	rollMark atomic.Int64
 	rollDur  time.Duration
 	rollErr  error
+
+	// gcStart is the runtime GC state sampled when Run begins; report()
+	// diffs against a second sample to attribute GC activity to the run.
+	gcStart gcstats.Stats
 }
 
 // New validates cfg and returns a Generator.
@@ -356,6 +361,7 @@ func (g *Generator) Run(ctx context.Context, src Source) (*Report, error) {
 	g.src = src
 	g.startedAt = time.Now()
 	g.measureAt = g.startedAt.Add(g.cfg.Warmup)
+	g.gcStart = gcstats.Read()
 	rctx, cancelRoll := context.WithCancel(ctx)
 	var rollWG sync.WaitGroup
 	if g.cfg.DayRollAfter > 0 {

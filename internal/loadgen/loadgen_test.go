@@ -51,6 +51,12 @@ func checkAccounting(t *testing.T, rep *Report) {
 	if classTotal != rep.Requests {
 		t.Fatalf("class totals %d != requests %d", classTotal, rep.Requests)
 	}
+	if rep.GC == nil {
+		t.Fatal("report missing gc block")
+	}
+	if rep.GC.HeapMB <= 0 || rep.GC.CPUFraction < 0 || rep.GC.CPUFraction > 1 {
+		t.Fatalf("implausible gc block: %+v", rep.GC)
+	}
 }
 
 func TestClosedLoop(t *testing.T) {

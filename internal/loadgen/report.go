@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"planetapps/internal/gcstats"
 	"planetapps/internal/metrics"
 )
 
@@ -69,6 +70,21 @@ type DayRollReport struct {
 	Error  string  `json:"error,omitempty"`
 }
 
+// GCReport summarizes the generator process's garbage-collection activity
+// over the run — the load generator usually shares a process with the
+// store under test (cmd/loadtest, examples/loadtest), so this is the GC
+// cost of serving the replayed traffic. Cycles/PauseTotalMS/CPUFraction
+// are deltas over the run; HeapObjects/HeapMB are end-of-run occupancy.
+type GCReport struct {
+	Cycles       uint64  `json:"cycles"`
+	PauseTotalMS float64 `json:"pause_total_ms"`
+	PauseP50US   float64 `json:"pause_p50_us"`
+	PauseP99US   float64 `json:"pause_p99_us"`
+	CPUFraction  float64 `json:"cpu_fraction"`
+	HeapObjects  uint64  `json:"heap_objects"`
+	HeapMB       float64 `json:"heap_mb"`
+}
+
 // Report is the JSON-serializable outcome of one Run. Counts cover the
 // measured window; WarmupRequests tallies what the warmup excluded.
 type Report struct {
@@ -89,6 +105,7 @@ type Report struct {
 	ThroughputRPS  float64        `json:"throughput_rps"`
 	Classes        []ClassReport  `json:"classes"`
 	DayRoll        *DayRollReport `json:"day_roll,omitempty"`
+	GC             *GCReport      `json:"gc,omitempty"`
 }
 
 func (g *Generator) report(elapsed time.Duration) *Report {
@@ -155,6 +172,16 @@ func (g *Generator) report(elapsed time.Duration) *Report {
 			}
 		}
 		rep.DayRoll = dr
+	}
+	delta := gcstats.Read().Since(g.gcStart)
+	rep.GC = &GCReport{
+		Cycles:       delta.Cycles,
+		PauseTotalMS: float64(delta.PauseTotal()) / 1e6,
+		PauseP50US:   float64(delta.PauseQuantile(0.50)) / 1e3,
+		PauseP99US:   float64(delta.PauseQuantile(0.99)) / 1e3,
+		CPUFraction:  delta.CPUFraction(),
+		HeapObjects:  delta.HeapObjects,
+		HeapMB:       float64(delta.HeapBytes) / (1 << 20),
 	}
 	return rep
 }

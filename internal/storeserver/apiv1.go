@@ -87,15 +87,15 @@ func writeV1Error(w http.ResponseWriter, status int, code, msg string, retryAfte
 	buf.Reset()
 	encodeJSON(buf, e)
 	w.Write(buf.Bytes()) //nolint:errcheck // client gone; nothing useful to do
-	bufPool.Put(buf)
+	putBuf(buf)
 }
 
 // v1Doc marks a response as v1, stamps the freshness headers, and serves a
 // pre-encoded snapshot document with content negotiation. The bytes and
-// ETags are the very same cachedDoc the legacy route serves — versioning
+// ETags are the very same arena region the legacy route serves — versioning
 // the path costs zero extra encodes. Freshness is set before serveDoc so
 // 304s carry it too: a revalidating cache resets its clock from the 304.
-func (s *Server) v1Doc(w http.ResponseWriter, r *http.Request, sn *snapshot, d *cachedDoc) {
+func (s *Server) v1Doc(w http.ResponseWriter, r *http.Request, sn *snapshot, d docView) {
 	h := w.Header()
 	hset(h, hdrAPIVersion, apiVersion)
 	s.freshness(h, sn)
@@ -238,7 +238,7 @@ func (s *Server) handleCursorV1(w http.ResponseWriter, r *http.Request, sn *snap
 	hset(h, hdrContentType, "application/json")
 	hset(h, hdrContentLength, strconv.Itoa(buf.Len()))
 	w.Write(buf.Bytes()) //nolint:errcheck // client gone; nothing useful to do
-	bufPool.Put(buf)
+	putBuf(buf)
 }
 
 // --- chaos wiring ---------------------------------------------------------

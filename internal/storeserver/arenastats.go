@@ -1,0 +1,39 @@
+package storeserver
+
+// ArenaStats summarizes the snapshot arena pool for ops surfaces
+// (gcbench output, the appstored final stats line).
+type ArenaStats struct {
+	ArenasLive  int64 `json:"arenas_live"`
+	SlabsLive   int64 `json:"slabs_live"`
+	SlabsPooled int64 `json:"slabs_pooled"`
+	SlabsMade   int64 `json:"slabs_made"`
+	SlabsReused int64 `json:"slabs_reused"`
+	Compactions int64 `json:"compactions"`
+	MovedDocs   int64 `json:"moved_docs"`
+}
+
+// Arena reports the snapshot slab-pool state.
+func (s *Server) Arena() ArenaStats {
+	st := s.pool.Stats()
+	return ArenaStats{
+		ArenasLive:  st.ArenasLive,
+		SlabsLive:   st.SlabsLive,
+		SlabsPooled: st.SlabsPooled,
+		SlabsMade:   st.SlabsMade,
+		SlabsReused: st.SlabsReused,
+		Compactions: s.compactions.Value(),
+		MovedDocs:   s.movedDocs.Value(),
+	}
+}
+
+// publishArenaStats refreshes the slab-pool gauges in the registry;
+// called on each /metrics scrape (counters are registered and updated by
+// publish, gauges reflect pool occupancy at scrape time).
+func (s *Server) publishArenaStats() {
+	st := s.pool.Stats()
+	s.reg.Gauge("store_arena_arenas_live").Set(st.ArenasLive)
+	s.reg.Gauge("store_arena_slabs_live").Set(st.SlabsLive)
+	s.reg.Gauge("store_arena_slabs_pooled").Set(st.SlabsPooled)
+	s.reg.Gauge("store_arena_slabs_made_total").Set(st.SlabsMade)
+	s.reg.Gauge("store_arena_slabs_reused_total").Set(st.SlabsReused)
+}

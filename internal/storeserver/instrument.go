@@ -34,6 +34,8 @@ func (s *Server) initMetrics() {
 	s.reencoded = s.reg.Counter("store_respcache_reencoded_total")
 	s.buildSeconds = s.reg.Histogram("store_snapshot_build_seconds")
 	s.prewarmed = s.reg.Counter("store_prewarm_docs_total")
+	s.movedDocs = s.reg.Counter("store_arena_moved_docs_total")
+	s.compactions = s.reg.Counter("store_arena_compactions_total")
 	s.routes = map[string]*routeInstruments{}
 	// Index order must match the router's route kinds (rStats..rAPK).
 	for kind, route := range []string{"stats", "list", "detail", "comments", "apk"} {

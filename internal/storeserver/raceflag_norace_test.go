@@ -1,0 +1,5 @@
+//go:build !race
+
+package storeserver
+
+const raceEnabled = false

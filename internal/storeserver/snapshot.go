@@ -2,10 +2,13 @@ package storeserver
 
 import (
 	"bytes"
+	"math/bits"
+	"runtime"
 	"strconv"
 	"sync/atomic"
 	"time"
 
+	"planetapps/internal/arena"
 	"planetapps/internal/catalog"
 	"planetapps/internal/marketsim"
 )
@@ -17,15 +20,26 @@ import (
 // snapshot even while a newer one is published), so handlers never touch a
 // server-wide lock or the live marketsim.Market. All catalog/download
 // fields are write-once at construction; the response caches fill in place
-// but each entry is write-once behind a sync.Once, so the whole structure
-// is safe for unsynchronized concurrent reads.
+// but each entry is write-once behind an atomic fill state, so the whole
+// structure is safe for unsynchronized concurrent reads.
 //
 // Successive snapshots are built as deltas: documents whose underlying
-// rows did not change since the predecessor are carried forward — pointer
-// for pointer, already-encoded bytes included — and every ETag is derived
-// from content versions (marketsim row/chunk versions, the comments
-// generation) rather than the day, so an unchanged document keeps its
-// ETag across days and a conditional crawler earns real cross-day 304s.
+// rows did not change since the predecessor are carried forward — handle
+// for handle, already-encoded arena bytes included — and every ETag is
+// derived from content versions (marketsim row/chunk versions, the
+// comments generation) rather than the day, so an unchanged document keeps
+// its ETag across days and a conditional crawler earns real cross-day
+// 304s.
+//
+// Document bytes live in the arena table, not the Go heap: arenas[i] is
+// the arena that docHandle.arenaIdx == i resolves against. Slot 0..63 —
+// the table is capped at 64 so per-block arena-reference masks fit a
+// uint64. freshIdx/fresh name the arena this snapshot's own fills
+// allocate from; the other non-nil slots are predecessors' arenas kept
+// alive (Retain'd) because carried documents still point into them. The
+// snapshot's finalizer releases every reference once no reader can reach
+// the snapshot — slabs are ordinary GC memory, so the refcounts gate
+// reuse, never safety.
 type snapshot struct {
 	day    int
 	dayStr string
@@ -54,24 +68,41 @@ type snapshot struct {
 	comments    map[catalog.AppID][]CommentJSON
 	commentsGen int64
 
+	arenas   []*arena.Arena
+	fresh    *arena.Arena
+	freshIdx uint32
+
 	stats   respCache // single entry: the store stats document
 	list    respCache // one entry per listing page
 	detail  respCache // one entry per app
 	comDocs respCache // one entry per app's comment stream
 
 	// Build accounting, published to the metrics registry by publish():
-	// how many documents were carried forward vs allocated fresh (fresh
-	// documents re-encode lazily on first request).
+	// documents carried forward vs allocated fresh (fresh documents
+	// re-encode lazily on first request), documents evacuated by
+	// compaction, and arenas targeted for evacuation.
 	carried   int64
 	reencoded int64
+	moved     int64
+	compacted int64
 }
+
+// maxArenas caps the arena table: docBlock.amask tracks referenced slots
+// in a uint64. Reaching the cap forces compaction of the least-live
+// arena, so the table cannot wedge.
+const maxArenas = 64
+
+// compactMinBytes exempts small arenas from compaction: evacuating a
+// few-hundred-KB arena saves nothing worth the copy. A var so tests can
+// lower the floor and exercise compaction at unit-test catalog sizes.
+var compactMinBytes int64 = 4 << 20
 
 // newSnapshot freezes an export plus the current comment set into a
 // servable snapshot, carrying unchanged documents forward from prev (nil
 // for the first snapshot). Fresh documents are not encoded here — that
 // would put O(catalog) JSON work on the AdvanceDay path; each is built on
 // first request (see respCache), optionally front-run by Server.prewarm.
-func newSnapshot(e *marketsim.Export, prev *snapshot, comments map[catalog.AppID][]CommentJSON, gen int64, pageSize int) *snapshot {
+func newSnapshot(e *marketsim.Export, prev *snapshot, comments map[catalog.AppID][]CommentJSON, gen int64, pageSize int, pool *arena.Pool) *snapshot {
 	n := e.NumApps()
 	pages := (n + pageSize - 1) / pageSize
 	if pages == 0 {
@@ -95,18 +126,27 @@ func newSnapshot(e *marketsim.Export, prev *snapshot, comments map[catalog.AppID
 	// it changes every day-roll and is always fresh.
 	sn.stats = newRespCache(1)
 
-	var prevEx *marketsim.Export
-	if prev != nil {
-		prevEx = prev.ex
+	if prev == nil {
+		sn.fresh = arena.New(pool)
+		sn.arenas = []*arena.Arena{sn.fresh}
+		sn.freshIdx = 0
+		sn.list = newRespCache(pages)
+		sn.detail = newRespCache(n)
+		sn.comDocs = newRespCache(n)
+		sn.reencoded = int64(pages) + 2*int64(n) + 1
+		runtime.SetFinalizer(sn, (*snapshot).releaseArenas)
+		return sn
 	}
+
+	cc := sn.planArenas(prev, pool)
+	prevEx := prev.ex
 	var carried int
 
 	// Listing pages embed Total/Pages, so any catalog growth invalidates
 	// all of them; otherwise page p is unchanged iff no chunk it spans
-	// moved (chunk versions are monotone, so equal sums mean equal
-	// chunks).
-	if prev != nil && prev.n == n && prev.pageSize == pageSize {
-		sn.list, carried = carriedCache(pages, &prev.list, nil, func(c int) uint64 {
+	// moved.
+	if prev.n == n && prev.pageSize == pageSize {
+		sn.list, carried = cc.cache(pages, &prev.list, nil, func(c int) uint64 {
 			var mask uint64
 			for j := 0; j < docChunk; j++ {
 				p := c*docChunk + j
@@ -114,8 +154,7 @@ func newSnapshot(e *marketsim.Export, prev *snapshot, comments map[catalog.AppID
 					break
 				}
 				lo := p * pageSize
-				hi := lo + pageSize
-				if e.VersionSum(lo, hi) == prevEx.VersionSum(lo, hi) {
+				if e.SpanUnchanged(prevEx, lo, lo+pageSize) {
 					mask |= 1 << uint(j)
 				}
 			}
@@ -126,40 +165,129 @@ func newSnapshot(e *marketsim.Export, prev *snapshot, comments map[catalog.AppID
 	} else {
 		sn.list = newRespCache(pages)
 		sn.reencoded += int64(pages)
+		cc.dropAll(&prev.list)
 	}
 
 	// An app's detail document is a pure function of its row version
 	// (row fields + download count) and the immutable name tables. Whole
 	// untouched export chunks (the overwhelming majority at low churn)
-	// carry their pointer blocks wholesale; only dirty chunks walk rows.
-	if prev != nil {
-		sn.detail, carried = carriedCache(n, &prev.detail, func(c int) bool {
-			return e.ChunkUnchanged(prevEx, c)
-		}, func(c int) uint64 {
-			return e.UnchangedRows(prevEx, c)
-		})
-		sn.carried += int64(carried)
-		sn.reencoded += int64(n - carried)
-	} else {
-		sn.detail = newRespCache(n)
-		sn.reencoded += int64(n)
-	}
+	// carry their handle blocks wholesale; only dirty chunks walk rows.
+	sn.detail, carried = cc.cache(n, &prev.detail, func(c int) bool {
+		return e.ChunkUnchanged(prevEx, c)
+	}, func(c int) uint64 {
+		return e.UnchangedRows(prevEx, c)
+	})
+	sn.carried += int64(carried)
+	sn.reencoded += int64(n - carried)
 
 	// Comment documents depend only on the comment set: same generation,
-	// same bytes — the whole population carries over (every full pointer
-	// block is shared outright; only the tail block, where arrivals land,
-	// is rebuilt).
-	if prev != nil && prev.commentsGen == gen {
-		sn.comDocs, carried = carriedCache(n, &prev.comDocs,
+	// same bytes — the whole population carries over (every full block is
+	// shared outright; only the tail block, where arrivals land, is
+	// carried entry by entry).
+	if prev.commentsGen == gen {
+		sn.comDocs, carried = cc.cache(n, &prev.comDocs,
 			func(int) bool { return true }, func(int) uint64 { return keepAll })
 		sn.carried += int64(carried)
 		sn.reencoded += int64(n - carried)
 	} else {
 		sn.comDocs = newRespCache(n)
 		sn.reencoded += int64(n)
+		cc.dropAll(&prev.comDocs)
 	}
 	sn.reencoded++ // the always-fresh stats document
+	cc.dropAll(&prev.stats)
+
+	// Retain every predecessor arena the carried documents still
+	// reference; unpin the rest (the predecessor snapshot's own
+	// references die with its finalizer). The fresh arena's reference is
+	// the one arena.New minted.
+	sn.moved = cc.moved
+	for idx, a := range sn.arenas {
+		if a == nil || uint32(idx) == sn.freshIdx {
+			continue
+		}
+		if cc.used&(1<<uint(idx)) != 0 {
+			a.Retain()
+		} else {
+			sn.arenas[idx] = nil
+		}
+	}
+	runtime.SetFinalizer(sn, (*snapshot).releaseArenas)
 	return sn
+}
+
+// planArenas builds the successor's arena table from prev's: pick the
+// arenas to compact away (mostly-dead, or evicted for table space), pick
+// the slot the build's fresh arena lives in, and return the carry context
+// the cache builds thread their bookkeeping through.
+//
+// Slot-reuse safety: the fresh arena may only take a slot no carried
+// handle will resolve — a nil hole (no live handle references an empty
+// slot by construction), a newly appended slot, or a compaction victim's
+// slot (every surviving document is evacuated out of a victim, so after
+// the carry no handle references it under its old meaning).
+func (sn *snapshot) planArenas(prev *snapshot, pool *arena.Pool) *carryCtx {
+	tab := append([]*arena.Arena(nil), prev.arenas...)
+
+	// Compaction targets: arenas whose surviving bytes are a small
+	// fraction of what they hold. A few immortal documents must not pin a
+	// whole day's slabs forever.
+	var compact uint64
+	for idx, a := range tab {
+		if a == nil {
+			continue
+		}
+		if alloc := a.AllocatedBytes(); alloc >= compactMinBytes && a.LiveBytes()*4 < alloc {
+			compact |= 1 << uint(idx)
+		}
+	}
+
+	freshIdx := -1
+	for idx, a := range tab {
+		if a == nil {
+			freshIdx = idx
+			break
+		}
+	}
+	if freshIdx < 0 && len(tab) < maxArenas {
+		tab = append(tab, nil)
+		freshIdx = len(tab) - 1
+	}
+	if freshIdx < 0 {
+		// Table full: reuse a victim slot. Prefer an arena already being
+		// compacted; otherwise force-compact the one with the least live
+		// bytes (cheapest evacuation).
+		if compact != 0 {
+			freshIdx = bits.TrailingZeros64(compact)
+		} else {
+			var minLive int64
+			for idx, a := range tab {
+				if live := a.LiveBytes(); freshIdx < 0 || live < minLive {
+					freshIdx, minLive = idx, live
+				}
+			}
+			compact |= 1 << uint(freshIdx)
+		}
+	}
+
+	sn.fresh = arena.New(pool)
+	sn.freshIdx = uint32(freshIdx)
+	tab[freshIdx] = sn.fresh
+	sn.arenas = tab
+	sn.compacted = int64(bits.OnesCount64(compact))
+	return &carryCtx{prev: prev, sn: sn, compact: compact}
+}
+
+// releaseArenas drops the snapshot's arena references. Registered as the
+// snapshot's finalizer: it runs only when no goroutine can reach the
+// snapshot anymore, i.e. when no in-flight request can still be reading
+// document bytes out of these arenas.
+func (sn *snapshot) releaseArenas() {
+	for _, a := range sn.arenas {
+		if a != nil {
+			a.Release()
+		}
+	}
 }
 
 // appName renders "<store>-app-<id zero-padded to 5>" without fmt. Output
@@ -218,8 +346,8 @@ func (sn *snapshot) ageString() string {
 
 // statsDoc returns the pre-summed store statistics document. The total was
 // accumulated incrementally by the market, so serving it is O(1).
-func (sn *snapshot) statsDoc() *cachedDoc {
-	return sn.stats.get(0, func(buf *bytes.Buffer) string {
+func (sn *snapshot) statsDoc() docView {
+	return sn.stats.get(sn, 0, func(buf *bytes.Buffer) string {
 		encodeJSON(buf, StatsJSON{
 			Store:          sn.store,
 			Day:            sn.day,
@@ -233,8 +361,8 @@ func (sn *snapshot) statsDoc() *cachedDoc {
 // listDoc returns listing page p (caller bounds-checks p < sn.pages). The
 // ETag encodes the catalog size and the spanned chunk versions — the
 // page's content version — so an untouched page revalidates across days.
-func (sn *snapshot) listDoc(p int) *cachedDoc {
-	return sn.list.get(p, func(buf *bytes.Buffer) string {
+func (sn *snapshot) listDoc(p int) docView {
+	return sn.list.get(sn, p, func(buf *bytes.Buffer) string {
 		lo := p * sn.pageSize
 		hi := lo + sn.pageSize
 		if hi > sn.n {
@@ -262,16 +390,16 @@ func (sn *snapshot) listDoc(p int) *cachedDoc {
 // row version — which advances only when the app's servable content
 // (row fields or download count) changes — so an unchanged app keeps its
 // ETag across day-rolls and a conditional crawler gets a true 304.
-func (sn *snapshot) detailDoc(i int) *cachedDoc {
-	return sn.detail.get(i, func(buf *bytes.Buffer) string {
+func (sn *snapshot) detailDoc(i int) docView {
+	return sn.detail.get(sn, i, func(buf *bytes.Buffer) string {
 		encodeJSON(buf, sn.appJSON(i))
 		return `"a` + strconv.Itoa(i) + `-r` + strconv.FormatUint(uint64(sn.ex.RowVer(i)), 10) + `"`
 	})
 }
 
 // commentsDoc returns app i's comment stream document.
-func (sn *snapshot) commentsDoc(i int) *cachedDoc {
-	return sn.comDocs.get(i, func(buf *bytes.Buffer) string {
+func (sn *snapshot) commentsDoc(i int) docView {
+	return sn.comDocs.get(sn, i, func(buf *bytes.Buffer) string {
 		cs := sn.comments[catalog.AppID(i)]
 		if cs == nil {
 			cs = []CommentJSON{}

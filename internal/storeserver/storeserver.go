@@ -26,9 +26,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"planetapps/internal/arena"
 	"planetapps/internal/catalog"
 	"planetapps/internal/comments"
 	"planetapps/internal/faultinject"
+	"planetapps/internal/gcstats"
 	"planetapps/internal/gzipx"
 	"planetapps/internal/marketsim"
 	"planetapps/internal/metrics"
@@ -157,6 +159,13 @@ type Server struct {
 	reencoded    *metrics.Counter
 	buildSeconds *metrics.Histogram
 	prewarmed    *metrics.Counter
+
+	// pool recycles document-cache slabs between snapshot arenas;
+	// movedDocs/compactions count documents evacuated (byte-copied, never
+	// re-encoded) out of mostly-dead arenas and the arenas so retired.
+	pool        *arena.Pool
+	movedDocs   *metrics.Counter
+	compactions *metrics.Counter
 }
 
 // New creates a server over a market. Comment streams may be attached with
@@ -168,6 +177,7 @@ func New(m *marketsim.Market, cfg Config) *Server {
 	s := &Server{
 		cfg:    cfg,
 		market: m,
+		pool:   arena.NewPool(0),
 	}
 	var maxAge int64
 	switch {
@@ -193,11 +203,13 @@ func New(m *marketsim.Market, cfg Config) *Server {
 func (s *Server) publish() {
 	start := time.Now()
 	prev := s.snap.Load()
-	sn := newSnapshot(s.market.Export(), prev, s.comments, s.commentsGen, s.cfg.PageSize)
+	sn := newSnapshot(s.market.Export(), prev, s.comments, s.commentsGen, s.cfg.PageSize, s.pool)
 	s.snap.Store(sn)
 	s.buildSeconds.ObserveSince(start)
 	s.carried.Add(sn.carried)
 	s.reencoded.Add(sn.reencoded)
+	s.movedDocs.Add(sn.moved)
+	s.compactions.Add(sn.compacted)
 	s.prewarm(sn)
 }
 
@@ -260,6 +272,11 @@ func (s *Server) Handler() http.Handler {
 				http.Error(w, "Method Not Allowed", http.StatusMethodNotAllowed)
 				return
 			}
+			// Refresh the collector and slab-pool gauges per scrape: GC
+			// cost and arena occupancy are exactly the time-varying state
+			// a scraper is here to observe.
+			s.publishArenaStats()
+			gcstats.Publish(s.reg)
 			metricsH.ServeHTTP(w, r)
 			return
 		}
@@ -329,7 +346,7 @@ func clientKey(r *http.Request) string {
 // for; Vary: Accept-Encoding marks the choice on 200s and 304s alike.
 // The legacy /api surface stays identity-only — its responses have been
 // byte-frozen since PR 5 and remain so on the wire.
-func serveDoc(w http.ResponseWriter, r *http.Request, sn *snapshot, d *cachedDoc, negotiate bool) {
+func serveDoc(w http.ResponseWriter, r *http.Request, sn *snapshot, d docView, negotiate bool) {
 	h := w.Header()
 	body, etag, clen := d.body, d.etag, d.clen
 	gz := false
