@@ -23,12 +23,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"planetapps"
 	"planetapps/internal/faultinject"
+	"planetapps/internal/fleet"
 	"planetapps/internal/marketsim"
 	"planetapps/internal/storeserver"
 )
@@ -55,6 +57,10 @@ func main() {
 		prewarm        = flag.Int("prewarm", 0, "pre-encode this many hot documents after each day roll (0 = off)")
 		prewarmWorkers = flag.Int("prewarm-workers", 0, "pre-warm worker pool size (0 = default)")
 		noSeries       = flag.Bool("no-series", false, "skip per-app daily time-series recording (serving only needs cumulative counts)")
+
+		shardIndex = flag.Int("shard-index", 0, "this node's position on the fleet's consistent-hash ring")
+		shardCount = flag.Int("shard-count", 0, "fleet size: serve only the ring partition owned by -shard-index and expose the /admin two-phase day-roll surface for gatewayd (0 = standalone full catalog)")
+		vnodes     = flag.Int("vnodes", 0, "consistent-hash virtual nodes per shard (0 = default; must match gatewayd)")
 	)
 	flag.Parse()
 
@@ -74,7 +80,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("appstored: %v", err)
 	}
-	srv := storeserver.New(m, storeserver.Config{
+	scfg := storeserver.Config{
 		PageSize:       100,
 		RatePerSec:     *rate,
 		Burst:          *burst,
@@ -82,7 +88,21 @@ func main() {
 		PrewarmWorkers: *prewarmWorkers,
 		DayInterval:    *dayEvery,
 		FreshFor:       *freshFor,
-	})
+	}
+	// Fleet membership: every shard runs the same deterministic simulation
+	// (same profile, seed, days) and serves only the slice of it the
+	// consistent-hash ring assigns — no shard ever needs another's data.
+	if *shardCount > 0 {
+		if *shardIndex < 0 || *shardIndex >= *shardCount {
+			log.Fatalf("appstored: -shard-index %d outside fleet of %d", *shardIndex, *shardCount)
+		}
+		ring := fleet.NewRing(*shardCount, *vnodes)
+		scfg.Node = "shard-" + strconv.Itoa(*shardIndex)
+		if *shardCount > 1 {
+			scfg.Partition = marketsim.NewPartitioner(ring.OwnsFunc(*shardIndex))
+		}
+	}
+	srv := storeserver.New(m, scfg)
 	if *comments > 0 {
 		cs, err := planetapps.GenerateComments(m.Catalog(), *comments, *seed+1)
 		if err != nil {
@@ -143,9 +163,15 @@ func main() {
 		}()
 	}
 
+	handler := srv.Handler()
+	if *shardCount > 0 {
+		// Fleet members expose the /admin two-phase roll surface the
+		// gateway's coordinated day-roll drives.
+		handler = fleet.NewShardNode(srv)
+	}
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -161,7 +187,12 @@ func main() {
 		}
 	}()
 
-	log.Printf("appstored: serving %s (%d apps) on %s", prof.Name, m.Catalog().NumApps(), *addr)
+	if *shardCount > 0 {
+		log.Printf("appstored: serving %s shard %d/%d (of a %d-app catalog) on %s",
+			prof.Name, *shardIndex, *shardCount, m.Catalog().NumApps(), *addr)
+	} else {
+		log.Printf("appstored: serving %s (%d apps) on %s", prof.Name, m.Catalog().NumApps(), *addr)
+	}
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("appstored: %v", err)
 	}

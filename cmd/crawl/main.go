@@ -36,6 +36,7 @@ import (
 	"planetapps/internal/db"
 	"planetapps/internal/edgecache"
 	"planetapps/internal/faultinject"
+	"planetapps/internal/fleet"
 	"planetapps/internal/marketsim"
 	"planetapps/internal/proxy"
 	"planetapps/internal/storeserver"
@@ -46,6 +47,7 @@ func main() {
 		storeName = flag.String("store", "anzhi", "store profile for the in-process store")
 		url       = flag.String("url", "", "crawl an external store at this base URL instead of starting one")
 		days      = flag.Int("days", 5, "number of daily crawls")
+		shards    = flag.Int("shards", 0, "in-process store fleet: N partitioned shards behind a consistent-hash gateway (0 = single store); day-rolls use the fleet's two-phase epoch swap")
 		proxies   = flag.Int("proxies", 4, "in-process proxy fleet size (0 = direct)")
 		workers   = flag.Int("workers", 8, "concurrent fetchers")
 		out       = flag.String("out", "crawl.jsonl", "output database path")
@@ -84,7 +86,50 @@ func main() {
 
 	base := *url
 	var advance func() error
-	if base == "" {
+	switch {
+	case base != "":
+		if *shards > 0 {
+			log.Fatal("crawl: -shards needs the in-process store (drop -url)")
+		}
+	case *shards > 0:
+		// Sharded origin: the same deterministic market partitioned over N
+		// store nodes behind the consistent-hash gateway; the crawl sees
+		// one full catalog and day-rolls ride the two-phase epoch swap.
+		prof, err := planetapps.StoreProfile(*storeName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		mdays := planetapps.DefaultMarketConfig(prof.Scale(*scale)).Days
+		if *days+1 > mdays {
+			mdays = *days + 1
+		}
+		opts := fleet.InprocOptions{
+			Shards:       *shards,
+			Store:        *storeName,
+			Scale:        *scale,
+			Seed:         *seed,
+			Days:         mdays,
+			CommentUsers: 5000,
+			Server:       storeserver.DefaultConfig(),
+		}
+		if *chaos != "" {
+			// Fleet chaos is node-indexed: rules pinned to a shard (like
+			// shard-kill's dead node 0) fire there only, Node -1 rules
+			// fire fleet-wide.
+			opts.Chaos, opts.ChaosSeed = &chaosSc, *chaosSeed
+			log.Printf("crawl: chaos scenario %q armed on the fleet (seed %d)", *chaos, *chaosSeed)
+		}
+		ip, err := fleet.NewInproc(opts)
+		if err != nil {
+			log.Fatalf("crawl: fleet: %v", err)
+		}
+		ts := httptest.NewServer(ip.Handler())
+		defer ts.Close()
+		base = ts.URL
+		advance = ip.AdvanceDay
+		log.Printf("crawl: started in-process %d-shard %s fleet behind gateway at %s", *shards, *storeName, base)
+	default:
 		srv, err := startStore(*storeName, *scale, *seed, *days)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

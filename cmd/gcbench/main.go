@@ -57,11 +57,11 @@ func window(d gcstats.Stats) gcBlock {
 }
 
 type result struct {
-	Apps     int    `json:"apps"`
-	Pages    int    `json:"pages"`
-	Docs     int    `json:"docs"`
-	GoMaxProcs int  `json:"gomaxprocs"`
-	FillSec  float64 `json:"fill_sec"`
+	Apps       int     `json:"apps"`
+	Pages      int     `json:"pages"`
+	Docs       int     `json:"docs"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	FillSec    float64 `json:"fill_sec"`
 
 	// Heap occupancy after the fill and a forced GC: what a fully hot
 	// snapshot costs the mark phase. BaselineObjects is the same reading

@@ -34,6 +34,7 @@ import (
 	"planetapps/internal/catalog"
 	"planetapps/internal/edgecache"
 	"planetapps/internal/faultinject"
+	"planetapps/internal/fleet"
 	"planetapps/internal/loadgen"
 	"planetapps/internal/marketsim"
 	"planetapps/internal/model"
@@ -72,6 +73,12 @@ func main() {
 		serverScale = flag.Float64("scale", 0.2, "in-process store population scale")
 		serverRate  = flag.Float64("server-rate", 0, "in-process per-client rate limit (req/s, 0 = off)")
 		serverBurst = flag.Int("server-burst", 50, "in-process rate limit burst")
+		serverLat   = flag.Duration("server-latency", 0, "in-process store: simulated per-request service time (models a fixed-speed store machine)")
+		serverCap   = flag.Int("server-capacity", 0, "in-process store: concurrent request slots per node (0 = unbounded; with -server-latency models max throughput capacity/latency per node)")
+
+		shards    = flag.Int("shards", 0, "in-process store fleet: N partitioned shards behind a consistent-hash gateway (0 = single node)")
+		vnodes    = flag.Int("vnodes", 0, "fleet consistent-hash virtual nodes per shard (0 = default; more vnodes = better partition balance)")
+		listEvery = flag.Int("list-every", 0, "issue a catalog listing request for every Nth event (0 = off)")
 
 		dayRoll = flag.Duration("day-roll", 0, "day-roll scenario: advance the in-process store one day this long into the measured window and report pre/post-swap latency separately (0 = off)")
 		prewarm = flag.Int("prewarm", 0, "in-process store: pre-encode this many hot documents after each day roll (0 = off)")
@@ -108,11 +115,59 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// Resolve the target: external URL or in-process server.
+	// Resolve the target: external URL, in-process fleet, or in-process
+	// single server.
 	baseURL := *target
 	var srv *storeserver.Server
+	var ip *fleet.Inproc
 	var inj *faultinject.Injector
-	if baseURL == "" {
+	serverCfg := storeserver.Config{
+		PageSize:    100,
+		RatePerSec:  *serverRate,
+		Burst:       *serverBurst,
+		PrewarmDocs: *prewarm,
+		FreshFor:    *originFresh,
+		Latency:     *serverLat,
+		Capacity:    *serverCap,
+	}
+	switch {
+	case baseURL != "":
+		if *shards > 0 {
+			log.Fatal("loadtest: -shards needs the in-process store (drop -target)")
+		}
+	case *shards > 0:
+		opts := fleet.InprocOptions{
+			Shards: *shards,
+			Store:  *store,
+			Scale:  *serverScale,
+			Seed:   *seed,
+			Vnodes: *vnodes,
+			Server: serverCfg,
+		}
+		var sc faultinject.Scenario
+		if *chaos != "" {
+			var err error
+			sc, err = faultinject.Lookup(*chaos)
+			if err != nil {
+				log.Fatalf("loadtest: %v", err)
+			}
+			opts.Chaos, opts.ChaosSeed, opts.ChaosScale = &sc, *chaosSeed, *chaosScale
+			log.Printf("loadtest: chaos scenario %q armed fleet-wide (seed %d, scale %g)", *chaos, *chaosSeed, *chaosScale)
+		}
+		var err error
+		ip, err = fleet.NewInproc(opts)
+		if err != nil {
+			log.Fatalf("loadtest: fleet: %v", err)
+		}
+		ts := httptest.NewServer(ip.Handler())
+		defer ts.Close()
+		baseURL = ts.URL
+		log.Printf("loadtest: in-process %d-shard %s fleet (%d-app catalog) behind gateway at %s",
+			*shards, *store, ip.NumApps(), baseURL)
+		if *apps == 0 {
+			*apps = ip.NumApps()
+		}
+	default:
 		prof, ok := catalog.Profiles[*store]
 		if !ok {
 			log.Fatalf("loadtest: unknown store profile %q", *store)
@@ -122,13 +177,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("loadtest: market: %v", err)
 		}
-		srv = storeserver.New(m, storeserver.Config{
-			PageSize:    100,
-			RatePerSec:  *serverRate,
-			Burst:       *serverBurst,
-			PrewarmDocs: *prewarm,
-			FreshFor:    *originFresh,
-		})
+		srv = storeserver.New(m, serverCfg)
 		if *chaos != "" {
 			sc, err := faultinject.Lookup(*chaos)
 			if err != nil {
@@ -222,6 +271,7 @@ func main() {
 		Timeout:     *timeout,
 		MaxEvents:   *events,
 		APKEvery:    *apkEvery,
+		ListEvery:   *listEvery,
 		AcceptGzip:  *gz,
 		Seed:        *seed,
 	}
@@ -229,11 +279,17 @@ func main() {
 		base.Client = &http.Client{Transport: rc.Transport()}
 	}
 	if *dayRoll > 0 {
-		if srv == nil {
+		base.DayRollAfter = *dayRoll
+		switch {
+		case ip != nil:
+			// Fleet day-roll: the two-phase prepare/commit epoch swap across
+			// every shard, driven mid-load.
+			base.DayRollFn = ip.AdvanceDay
+		case srv != nil:
+			base.DayRollFn = srv.AdvanceDay
+		default:
 			log.Fatal("loadtest: -day-roll requires the in-process store (drop -target)")
 		}
-		base.DayRollAfter = *dayRoll
-		base.DayRollFn = srv.AdvanceDay
 	}
 
 	var modes []loadgen.Mode
@@ -281,8 +337,8 @@ func main() {
 			if !dr.Rolled {
 				log.Printf("loadtest: %s: day roll never fired — run shorter than warmup+%v", m, *dayRoll)
 			} else if c := detailClass(rep); c != nil && c.PreRollMS != nil && c.PostRollMS != nil {
-				log.Printf("loadtest: %s: day roll at %.2fs took %.2fms; detail p99 pre %.2fms (%d reqs) -> post %.2fms (%d reqs)",
-					m, dr.AtSec, dr.RollMS, c.PreRollMS.P99, c.PreRollCount, c.PostRollMS.P99, c.PostRollCount)
+				log.Printf("loadtest: %s: day roll at %.2fs took %.2fms; detail p99 pre %.2fms (%d reqs) -> post %.2fms (%d reqs); %d mixed-epoch responses",
+					m, dr.AtSec, dr.RollMS, c.PreRollMS.P99, c.PreRollCount, c.PostRollMS.P99, c.PostRollCount, dr.MixedEpochResponses)
 			}
 		}
 	}
@@ -305,6 +361,26 @@ func main() {
 			"rate_limited":    srv.RateLimited(),
 			"limiter_buckets": srv.LimiterBuckets(),
 		}
+	}
+	if ip != nil {
+		var served, limited int64
+		perShard := make([]int64, len(ip.Servers))
+		for i, s := range ip.Servers {
+			perShard[i] = s.RequestsServed()
+			served += s.RequestsServed()
+			limited += s.RateLimited()
+		}
+		gst := ip.Gateway.Stats()
+		combined["fleet"] = map[string]any{
+			"shards":           *shards,
+			"day":              ip.Day(),
+			"requests_served":  served,
+			"rate_limited":     limited,
+			"per_shard_served": perShard,
+			"gateway":          gst,
+		}
+		log.Printf("loadtest: fleet: %d shards served %d requests (gateway: %d proxied, %d merged pages, %d epoch retries, %d epoch skews, %d shard errors)",
+			*shards, served, gst.Proxied, gst.MergedPages, gst.EpochRetries, gst.EpochSkews, gst.ShardErrors)
 	}
 	if inj != nil {
 		combined["chaos"] = map[string]any{

@@ -61,6 +61,14 @@ var builtins = []Scenario{
 		},
 	},
 	{
+		Name: "shard-kill",
+		Desc: "store-fleet shard outage: shard 0 is dead (every request reset) for the first 24 requests of each 160-request window, and every shard resets ~4% of requests besides",
+		Rules: []Rule{
+			{Route: "/api", Kind: KindReset, Prob: 1, Every: 160, Span: 24, Node: 0},
+			{Route: "/api", Kind: KindReset, Prob: 0.04, Node: -1},
+		},
+	},
+	{
 		Name: "proxy-partition",
 		Desc: "fleet partition: node 0 of every fleet is dead (all requests reset), node 1 drops half",
 		Rules: []Rule{

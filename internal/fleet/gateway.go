@@ -1,0 +1,995 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"hash/fnv"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"planetapps/internal/metrics"
+	"planetapps/internal/storeserver"
+)
+
+// Config configures a Gateway.
+type Config struct {
+	// Shards is the fleet, in ring order: Shards[i] must be the node
+	// serving ring shard i.
+	Shards []ShardClient
+	// PageSize is the listing page size, which must match the shards'
+	// storeserver.Config.PageSize for assembled pages to be byte-compatible
+	// with a single node's.
+	PageSize int
+	// Vnodes is the consistent-hash ring's virtual-node count per shard
+	// (<= 0 uses DefaultVnodes). Must match the value the shards'
+	// partitioners were built with.
+	Vnodes int
+	// EpochRetries bounds how many times a scatter request is retried when
+	// the shards' X-Store-Day headers disagree (a day-roll commit fanning
+	// out mid-request) before giving up with 503 epoch_skew. <= 0 uses 3.
+	EpochRetries int
+}
+
+// Gateway is the fleet's front door: one HTTP surface, N shards behind
+// it. Single-app routes are proxied to their ring owner untouched; the
+// listing is stitched across shards by a deterministic k-way merge on
+// global app ID; /stats aggregates; /metrics merges every node's
+// registry. Every scatter response is checked for epoch coherence — the
+// gateway never returns data mixing two simulated days, even while a
+// fleet day-roll's commits are fanning out.
+type Gateway struct {
+	cfg  Config
+	ring *Ring
+	reg  *metrics.Registry
+
+	// rollMu serializes /admin/roll coordinations.
+	rollMu sync.Mutex
+
+	reqs         map[string]*metrics.Counter
+	proxied      *metrics.Counter
+	mergedPages  *metrics.Counter
+	epochRetries *metrics.Counter
+	epochSkews   *metrics.Counter
+	shardErrors  *metrics.Counter
+	mergeSeconds *metrics.Histogram
+}
+
+// NewGateway builds a gateway over cfg.Shards.
+func NewGateway(cfg Config) *Gateway {
+	if cfg.PageSize <= 0 {
+		cfg.PageSize = 100
+	}
+	if cfg.EpochRetries <= 0 {
+		cfg.EpochRetries = 3
+	}
+	g := &Gateway{
+		cfg:  cfg,
+		ring: NewRing(len(cfg.Shards), cfg.Vnodes),
+		reg:  metrics.NewRegistry(),
+	}
+	g.reg.SetNode("gateway")
+	g.reqs = map[string]*metrics.Counter{}
+	for _, route := range []string{"stats", "list", "proxy", "metrics", "admin", "other"} {
+		g.reqs[route] = g.reg.Counter(`gateway_requests_total{route="` + route + `"}`)
+	}
+	g.proxied = g.reg.Counter("gateway_proxied_total")
+	g.mergedPages = g.reg.Counter("gateway_merged_pages_total")
+	g.epochRetries = g.reg.Counter("gateway_epoch_retries_total")
+	g.epochSkews = g.reg.Counter("gateway_epoch_skew_total")
+	g.shardErrors = g.reg.Counter("gateway_shard_errors_total")
+	g.mergeSeconds = g.reg.Histogram("gateway_merge_seconds")
+	return g
+}
+
+// Registry returns the gateway's own metrics registry.
+func (g *Gateway) Registry() *metrics.Registry { return g.reg }
+
+// Stats is a point-in-time snapshot of the gateway's own counters, for
+// reports that want the numbers without scraping /metrics.
+type Stats struct {
+	Proxied      int64 `json:"proxied"`
+	MergedPages  int64 `json:"merged_pages"`
+	EpochRetries int64 `json:"epoch_retries"`
+	EpochSkews   int64 `json:"epoch_skews"`
+	ShardErrors  int64 `json:"shard_errors"`
+}
+
+// Stats snapshots the gateway counters.
+func (g *Gateway) Stats() Stats {
+	return Stats{
+		Proxied:      g.proxied.Value(),
+		MergedPages:  g.mergedPages.Value(),
+		EpochRetries: g.epochRetries.Value(),
+		EpochSkews:   g.epochSkews.Value(),
+		ShardErrors:  g.shardErrors.Value(),
+	}
+}
+
+// Ring returns the gateway's routing ring (for tests and partition setup).
+func (g *Gateway) Ring() *Ring { return g.ring }
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/metrics":
+		g.reqs["metrics"].Inc()
+		g.serveMetrics(w, r)
+		return
+	case r.URL.Path == "/admin/roll":
+		g.reqs["admin"].Inc()
+		g.serveRoll(w, r)
+		return
+	case r.URL.Path == "/admin/day":
+		g.reqs["admin"].Inc()
+		g.serveDay(w, r)
+		return
+	}
+	kind, v1, rest := parseGatewayPath(r.URL.Path)
+	if kind == gwNone {
+		g.reqs["other"].Inc()
+		http.NotFound(w, r)
+		return
+	}
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "Method Not Allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	switch kind {
+	case gwStats:
+		g.reqs["stats"].Inc()
+		g.serveStats(w, r, v1)
+	case gwList:
+		g.reqs["list"].Inc()
+		g.serveList(w, r, v1)
+	default: // gwApp: detail, comments, apk
+		g.reqs["proxy"].Inc()
+		g.serveApp(w, r, v1, rest)
+	}
+}
+
+// --- routing ---------------------------------------------------------------
+
+const (
+	gwNone = iota
+	gwStats
+	gwList
+	gwApp
+)
+
+// parseGatewayPath classifies an /api path the way the store's router
+// does, without resolving the app ID (the owner shard parses and
+// validates it). rest is the "{id}[/comments|/apk]" tail for gwApp.
+func parseGatewayPath(p string) (kind int, v1 bool, rest string) {
+	if !strings.HasPrefix(p, "/api/") {
+		return gwNone, false, ""
+	}
+	tail := p[len("/api"):]
+	if strings.HasPrefix(tail, "/v1/") {
+		v1 = true
+		tail = tail[len("/v1"):]
+	}
+	switch tail {
+	case "/stats":
+		return gwStats, v1, ""
+	case "/apps":
+		return gwList, v1, ""
+	}
+	if strings.HasPrefix(tail, "/apps/") {
+		return gwApp, v1, tail[len("/apps/"):]
+	}
+	return gwNone, v1, ""
+}
+
+// gwError is a fleet-level failure to be rendered in the dialect of the
+// surface it hit.
+type gwError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (g *Gateway) writeError(w http.ResponseWriter, v1 bool, e *gwError) {
+	if v1 {
+		h := w.Header()
+		h.Set("Content-Type", "application/json")
+		h.Set("X-API-Version", "1")
+		h.Set("Cache-Control", "no-store")
+		w.WriteHeader(e.status)
+		json.NewEncoder(w).Encode(storeserver.ErrorJSON{ //nolint:errcheck
+			Error: storeserver.ErrorBody{Code: e.code, Message: e.msg},
+		})
+		return
+	}
+	http.Error(w, e.msg, e.status)
+}
+
+// --- single-app proxy ------------------------------------------------------
+
+// proxyHopHeaders are the request headers forwarded to the owner shard:
+// the validators and negotiation the store honours, plus the client
+// identity chain the shard's rate limiter buckets by.
+var proxyHopHeaders = []string{"If-None-Match", "Accept-Encoding", "User-Agent"}
+
+// serveApp forwards a single-app route to the shard owning the app ID.
+// The response — status, headers, body, byte for byte — is the shard's:
+// detail, comments, and APK documents through the gateway are exactly
+// what a single node serves, gzip negotiation and 304s included.
+func (g *Gateway) serveApp(w http.ResponseWriter, r *http.Request, v1 bool, rest string) {
+	seg := rest
+	if i := strings.IndexByte(seg, '/'); i >= 0 {
+		seg = seg[:i]
+	}
+	id, ok := parseID(seg)
+	if !ok {
+		if v1 {
+			g.writeError(w, true, &gwError{http.StatusBadRequest, "bad_app_id",
+				"app id must be a non-negative integer"})
+		} else {
+			http.Error(w, "bad app id", http.StatusBadRequest)
+		}
+		return
+	}
+	shard := &g.cfg.Shards[g.ring.Owner(id)]
+	hdr := make(http.Header, 4)
+	for _, k := range proxyHopHeaders {
+		if v := r.Header.Get(k); v != "" {
+			hdr.Set(k, v)
+		}
+	}
+	hdr.Set("X-Forwarded-For", forwardedFor(r))
+	pathAndQuery := r.URL.Path
+	if r.URL.RawQuery != "" {
+		pathAndQuery += "?" + r.URL.RawQuery
+	}
+	resp, err := shard.get(r.Context(), pathAndQuery, hdr)
+	if err != nil {
+		g.shardErrors.Inc()
+		g.writeError(w, v1, &gwError{http.StatusBadGateway, "shard_unreachable",
+			"shard " + shard.Name + " unreachable"})
+		return
+	}
+	defer resp.Body.Close()
+	h := w.Header()
+	for k, vs := range resp.Header {
+		h[k] = vs
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.CopyBuffer(w, resp.Body, nil) //nolint:errcheck // client gone; nothing useful to do
+	g.proxied.Inc()
+}
+
+// forwardedFor extends the client's X-Forwarded-For chain with the hop
+// that reached the gateway, so the shards' per-client rate limiting (and
+// anything else keyed on the originating client) behaves exactly as it
+// would without the gateway in the path.
+func forwardedFor(r *http.Request) string {
+	host := r.RemoteAddr
+	if h, _, err := net.SplitHostPort(host); err == nil {
+		host = h
+	}
+	if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
+		return xff + ", " + host
+	}
+	return host
+}
+
+// parseID parses a decimal non-negative int32.
+func parseID(s string) (int32, bool) {
+	if s == "" || len(s) > 10 {
+		return 0, false
+	}
+	var v int64
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int64(c-'0')
+	}
+	if v > 1<<31-1 {
+		return 0, false
+	}
+	return int32(v), true
+}
+
+// --- stats aggregation -----------------------------------------------------
+
+// shardStats is one shard's parsed /api/v1/stats response.
+type shardStats struct {
+	stats storeserver.StatsJSON
+	day   string
+	cc    string
+	age   string
+}
+
+// serveStats scatters /api/v1/stats to every shard, verifies the fleet is
+// on one epoch, and serves the summed document. The body and ETag are
+// byte-identical to what a single node holding the whole catalog would
+// serve: apps and downloads sum across disjoint partitions, and the ETag
+// is the same "s<day>-t<total>" content hash.
+func (g *Gateway) serveStats(w http.ResponseWriter, r *http.Request, v1 bool) {
+	var agg storeserver.StatsJSON
+	var day, cc, age string
+	err := g.retryEpoch(func() (string, *gwError) {
+		results := make([]shardStats, len(g.cfg.Shards))
+		gerr := g.scatter(r.Context(), func(ctx context.Context, i int) *gwError {
+			resp, err := g.cfg.Shards[i].get(ctx, "/api/v1/stats", nil)
+			if err != nil {
+				return &gwError{http.StatusBadGateway, "shard_unreachable",
+					"shard " + g.cfg.Shards[i].Name + " unreachable"}
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return &gwError{http.StatusServiceUnavailable, "shard_unavailable",
+					"shard " + g.cfg.Shards[i].Name + " answered " + strconv.Itoa(resp.StatusCode)}
+			}
+			var s storeserver.StatsJSON
+			if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+				return &gwError{http.StatusBadGateway, "shard_bad_response",
+					"shard " + g.cfg.Shards[i].Name + ": " + err.Error()}
+			}
+			results[i] = shardStats{
+				stats: s,
+				day:   resp.Header.Get("X-Store-Day"),
+				cc:    resp.Header.Get("Cache-Control"),
+				age:   resp.Header.Get("Age"),
+			}
+			return nil
+		})
+		if gerr != nil {
+			return "", gerr
+		}
+		agg = storeserver.StatsJSON{Store: results[0].stats.Store, Day: results[0].stats.Day}
+		day, cc, age = results[0].day, results[0].cc, results[0].age
+		for _, res := range results {
+			if res.day != day {
+				return "", nil // epoch skew: caller retries
+			}
+			agg.Apps += res.stats.Apps
+			agg.TotalDownloads += res.stats.TotalDownloads
+		}
+		return day, nil
+	})
+	if err != nil {
+		g.writeError(w, v1, err)
+		return
+	}
+	etag := `"s` + day + `-t` + strconv.FormatInt(agg.TotalDownloads, 10) + `"`
+	h := w.Header()
+	if v1 {
+		h.Set("X-API-Version", "1")
+		if cc != "" {
+			h.Set("Cache-Control", cc)
+		}
+		if age != "" {
+			h.Set("Age", age)
+		}
+		h.Set("Vary", "Accept-Encoding")
+	}
+	h.Set("Etag", etag)
+	h.Set("X-Store-Day", day)
+	if inm := r.Header.Get("If-None-Match"); inmMatch(inm, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	var buf bytes.Buffer
+	json.NewEncoder(&buf).Encode(agg) //nolint:errcheck
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.Write(buf.Bytes()) //nolint:errcheck // client gone; nothing useful to do
+}
+
+// --- cross-shard listing ---------------------------------------------------
+
+// gwCursorPrefix versions the packed gateway cursor format.
+const gwCursorPrefix = "g1:"
+
+// packCursor renders the gateway cursor: per-shard global-app-ID anchors,
+// one per ring shard, wrapped opaque. Anchors are global IDs, not row
+// indices, so a packed cursor stays valid across fleet day-rolls (the
+// catalog is append-only) — the same stability the single-node cursor
+// has, lifted to the fleet.
+func packCursor(anchors []int32) string {
+	var sb strings.Builder
+	sb.WriteString(gwCursorPrefix)
+	sb.WriteString(strconv.Itoa(len(anchors)))
+	for _, a := range anchors {
+		sb.WriteByte(':')
+		sb.WriteString(strconv.FormatInt(int64(a), 10))
+	}
+	return base64.RawURLEncoding.EncodeToString([]byte(sb.String()))
+}
+
+// unpackCursor parses a packed gateway cursor. shards mismatching the
+// current ring (a fleet resize since the cursor was minted) is reported
+// as !ok — the anchors would resume against the wrong partitions.
+func unpackCursor(cur string, shards int) ([]int32, bool) {
+	raw, err := base64.RawURLEncoding.DecodeString(cur)
+	if err != nil || !strings.HasPrefix(string(raw), gwCursorPrefix) {
+		return nil, false
+	}
+	parts := strings.Split(string(raw[len(gwCursorPrefix):]), ":")
+	if len(parts) < 1 {
+		return nil, false
+	}
+	k, err := strconv.Atoi(parts[0])
+	if err != nil || k != shards || len(parts) != k+1 {
+		return nil, false
+	}
+	anchors := make([]int32, k)
+	for i, p := range parts[1:] {
+		v, err := strconv.ParseInt(p, 10, 32)
+		if err != nil || v < 0 {
+			return nil, false
+		}
+		anchors[i] = int32(v)
+	}
+	return anchors, true
+}
+
+// appRow is one listing row as fetched from a shard: the app's global ID
+// (the merge key) plus the shard's exact encoded bytes, spliced verbatim
+// into the assembled page so a row through the gateway is byte-identical
+// to the same row from a single node.
+type appRow struct {
+	id  int32
+	raw json.RawMessage
+}
+
+func (a *appRow) UnmarshalJSON(b []byte) error {
+	var key struct {
+		ID int32 `json:"id"`
+	}
+	if err := json.Unmarshal(b, &key); err != nil {
+		return err
+	}
+	a.id = key.ID
+	a.raw = append(json.RawMessage(nil), b...)
+	return nil
+}
+
+// shardPage is one shard's parsed cursor-page response.
+type shardPage struct {
+	Apps       []appRow `json:"apps"`
+	NextCursor string   `json:"next_cursor"`
+	Total      int      `json:"total"`
+
+	next int32 // decoded NextCursor anchor; -1 = shard reported no more
+	day  string
+	etag string
+	cc   string
+	age  string
+}
+
+// gwCursorPage mirrors storeserver.CursorPageJSON with pre-encoded rows.
+type gwCursorPage struct {
+	Apps       []json.RawMessage `json:"apps"`
+	NextCursor string            `json:"next_cursor,omitempty"`
+	Total      int               `json:"total"`
+}
+
+// gwPage mirrors storeserver.PageJSON with pre-encoded rows.
+type gwPage struct {
+	Apps  []json.RawMessage `json:"apps"`
+	Page  int               `json:"page"`
+	Pages int               `json:"pages"`
+	Total int               `json:"total"`
+}
+
+// assembled is one merged gateway listing page.
+type assembled struct {
+	rows    []json.RawMessage
+	anchors []int32 // next per-shard anchors after this page
+	done    bool    // every shard drained: no next page
+	total   int
+	day     string
+	etag    string
+	cc      string
+	age     string
+}
+
+// fetchShardPage pulls one shard's listing slice anchored at a global ID.
+func (g *Gateway) fetchShardPage(ctx context.Context, i int, anchor int32, limit int) (*shardPage, *gwError) {
+	c := &g.cfg.Shards[i]
+	path := "/api/v1/apps?cursor=" + storeserver.EncodeCursor(int(anchor)) +
+		"&limit=" + strconv.Itoa(limit)
+	resp, err := c.get(ctx, path, nil)
+	if err != nil {
+		return nil, &gwError{http.StatusBadGateway, "shard_unreachable",
+			"shard " + c.Name + " unreachable"}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, &gwError{http.StatusServiceUnavailable, "shard_unavailable",
+			"shard " + c.Name + " answered " + strconv.Itoa(resp.StatusCode)}
+	}
+	var page shardPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return nil, &gwError{http.StatusBadGateway, "shard_bad_response",
+			"shard " + c.Name + ": " + err.Error()}
+	}
+	page.next = -1
+	if page.NextCursor != "" {
+		v, ok := storeserver.DecodeCursor(page.NextCursor)
+		if !ok {
+			return nil, &gwError{http.StatusBadGateway, "shard_bad_response",
+				"shard " + c.Name + ": undecodable next_cursor"}
+		}
+		page.next = int32(v)
+	}
+	page.day = resp.Header.Get("X-Store-Day")
+	page.etag = resp.Header.Get("Etag")
+	page.cc = resp.Header.Get("Cache-Control")
+	page.age = resp.Header.Get("Age")
+	return &page, nil
+}
+
+// assemble builds one merged listing page of up to limit rows starting at
+// the per-shard anchors. Every shard is consulted — a shard believed
+// exhausted still gets a probe, because a day-roll may have grown its
+// partition (append-only catalog) and because the page's epoch check and
+// total must cover the whole fleet. Rows merge in ascending global app ID
+// order, which is exactly a single node's listing order, so the union
+// walk is the single-node walk. Returns (nil, nil) on epoch skew — the
+// caller's retry loop re-fetches; anchors are global IDs, valid in any
+// epoch, so the retry needs no repositioning.
+func (g *Gateway) assemble(ctx context.Context, anchors []int32, limit int) (*assembled, *gwError) {
+	k := len(g.cfg.Shards)
+	pages := make([]*shardPage, k)
+	gerr := g.scatter(ctx, func(ctx context.Context, i int) *gwError {
+		p, e := g.fetchShardPage(ctx, i, anchors[i], limit)
+		pages[i] = p
+		return e
+	})
+	if gerr != nil {
+		return nil, gerr
+	}
+	day := pages[0].day
+	for _, p := range pages {
+		if p.day != day {
+			return nil, nil // epoch skew
+		}
+	}
+
+	out := &assembled{
+		anchors: make([]int32, k),
+		day:     day,
+		cc:      pages[0].cc,
+		age:     pages[0].age,
+	}
+	heads := make([]int, k)
+	for _, p := range pages {
+		out.total += p.Total
+	}
+	for len(out.rows) < limit {
+		best := -1
+		for i, p := range pages {
+			if heads[i] < len(p.Apps) &&
+				(best < 0 || p.Apps[heads[i]].id < pages[best].Apps[heads[best]].id) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		out.rows = append(out.rows, pages[best].Apps[heads[best]].raw)
+		heads[best]++
+	}
+	out.done = true
+	for i, p := range pages {
+		switch {
+		case heads[i] < len(p.Apps):
+			// Unconsumed buffered rows: resume at the first of them.
+			out.anchors[i] = p.Apps[heads[i]].id
+			out.done = false
+		case p.next >= 0:
+			// Buffer drained but the shard has more.
+			out.anchors[i] = p.next
+			out.done = false
+		case len(p.Apps) > 0:
+			// Shard exhausted: park just past its last row, where rows
+			// appended by a future day-roll will appear.
+			out.anchors[i] = p.Apps[len(p.Apps)-1].id + 1
+		default:
+			out.anchors[i] = anchors[i]
+		}
+	}
+
+	// The gateway's validator digests the constituents' content-derived
+	// ETags plus the request's position, so it revalidates (304) exactly
+	// when every spanned shard slice is unchanged — including across
+	// day-rolls that left the span untouched.
+	h := fnv.New64a()
+	for i, p := range pages {
+		h.Write([]byte(strconv.FormatInt(int64(anchors[i]), 10))) //nolint:errcheck
+		h.Write([]byte{':'})                                      //nolint:errcheck
+		h.Write([]byte(p.etag))                                   //nolint:errcheck
+		h.Write([]byte{';'})                                      //nolint:errcheck
+	}
+	out.etag = `"g` + strconv.FormatUint(h.Sum64(), 16) + `"`
+	return out, nil
+}
+
+// retryEpoch runs one scatter attempt up to EpochRetries+1 times. An
+// attempt returns its observed day ("" = shards disagreed → retry) or a
+// hard error. Exhausting retries yields 503 epoch_skew — the fleet was
+// mid-commit the whole time, which a two-phase roll makes vanishingly
+// brief, so a client retry will land in the new epoch.
+func (g *Gateway) retryEpoch(attempt func() (string, *gwError)) *gwError {
+	for try := 0; ; try++ {
+		day, err := attempt()
+		if err != nil {
+			g.shardErrors.Inc()
+			return err
+		}
+		if day != "" {
+			return nil
+		}
+		if try >= g.cfg.EpochRetries {
+			g.epochSkews.Inc()
+			return &gwError{http.StatusServiceUnavailable, "epoch_skew",
+				"fleet day-roll in progress; retry"}
+		}
+		g.epochRetries.Inc()
+	}
+}
+
+// scatter runs fn(i) for every shard concurrently and returns the first
+// error by shard order.
+func (g *Gateway) scatter(ctx context.Context, fn func(ctx context.Context, i int) *gwError) *gwError {
+	errs := make([]*gwError, len(g.cfg.Shards))
+	var wg sync.WaitGroup
+	for i := range g.cfg.Shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(ctx, i)
+		}(i)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// serveList handles /api/apps and /api/v1/apps. Cursor walks (v1) are the
+// fleet's native listing: per-shard anchors packed into one opaque
+// cursor, pages assembled by ID merge. Page addressing is served for page
+// 0 (the entry point crawlers and smoke checks hit); deep page numbers
+// would need a global offset index the partitions don't keep, and every
+// consumer since PR 5 paginates by cursor, so deeper pages answer with an
+// explicit error instead of silently wrong slices.
+func (g *Gateway) serveList(w http.ResponseWriter, r *http.Request, v1 bool) {
+	start := time.Now()
+	defer g.mergeSeconds.ObserveSince(start)
+	q := r.URL.Query()
+	cursor, hasCursor := q["cursor"]
+	page, hasPage := q["page"]
+	if v1 && hasCursor {
+		if hasPage {
+			g.writeError(w, true, &gwError{http.StatusBadRequest, "bad_request",
+				"page and cursor are mutually exclusive"})
+			return
+		}
+		cur := ""
+		if len(cursor) > 0 {
+			cur = cursor[0]
+		}
+		anchors := make([]int32, len(g.cfg.Shards))
+		if cur != "" {
+			a, ok := unpackCursor(cur, len(g.cfg.Shards))
+			if !ok {
+				g.writeError(w, true, &gwError{http.StatusBadRequest, "bad_cursor",
+					"cursor is invalid, from an incompatible version, or from a different fleet topology"})
+				return
+			}
+			anchors = a
+		}
+		g.serveCursorPage(w, r, anchors)
+		return
+	}
+	pageNo := 0
+	if hasPage && len(page) > 0 && page[0] != "" {
+		v, ok := parseID(page[0])
+		if !ok {
+			if v1 {
+				g.writeError(w, true, &gwError{http.StatusBadRequest, "bad_page",
+					"page must be a non-negative integer"})
+			} else {
+				http.Error(w, "bad page", http.StatusBadRequest)
+			}
+			return
+		}
+		pageNo = int(v)
+	}
+	if pageNo > 0 {
+		if v1 {
+			g.writeError(w, true, &gwError{http.StatusBadRequest, "page_unsupported",
+				"the fleet gateway serves page 0 only; paginate with cursors"})
+		} else {
+			http.Error(w, "the fleet gateway serves page 0 only; paginate with cursors", http.StatusBadRequest)
+		}
+		return
+	}
+	g.servePageZero(w, r, v1)
+}
+
+// serveCursorPage assembles and serves one merged cursor page.
+func (g *Gateway) serveCursorPage(w http.ResponseWriter, r *http.Request, anchors []int32) {
+	var asm *assembled
+	err := g.retryEpoch(func() (string, *gwError) {
+		a, e := g.assemble(r.Context(), anchors, g.cfg.PageSize)
+		if e != nil {
+			return "", e
+		}
+		if a == nil {
+			return "", nil
+		}
+		asm = a
+		return a.day, nil
+	})
+	if err != nil {
+		g.writeError(w, true, err)
+		return
+	}
+	g.mergedPages.Inc()
+	h := w.Header()
+	h.Set("X-API-Version", "1")
+	if asm.cc != "" {
+		h.Set("Cache-Control", asm.cc)
+	}
+	if asm.age != "" {
+		h.Set("Age", asm.age)
+	}
+	h.Set("Etag", asm.etag)
+	h.Set("X-Store-Day", asm.day)
+	if inmMatch(r.Header.Get("If-None-Match"), asm.etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	out := gwCursorPage{Apps: asm.rows, Total: asm.total}
+	if out.Apps == nil {
+		out.Apps = []json.RawMessage{}
+	}
+	if !asm.done {
+		out.NextCursor = packCursor(asm.anchors)
+	}
+	var buf bytes.Buffer
+	json.NewEncoder(&buf).Encode(out) //nolint:errcheck
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.Write(buf.Bytes()) //nolint:errcheck // client gone; nothing useful to do
+}
+
+// servePageZero synthesizes listing page 0 — the first PageSize rows of
+// the merged listing, in the legacy PageJSON envelope, byte-identical to
+// a single node's page 0 apart from the validator.
+func (g *Gateway) servePageZero(w http.ResponseWriter, r *http.Request, v1 bool) {
+	anchors := make([]int32, len(g.cfg.Shards))
+	var asm *assembled
+	err := g.retryEpoch(func() (string, *gwError) {
+		a, e := g.assemble(r.Context(), anchors, g.cfg.PageSize)
+		if e != nil {
+			return "", e
+		}
+		if a == nil {
+			return "", nil
+		}
+		asm = a
+		return a.day, nil
+	})
+	if err != nil {
+		g.writeError(w, v1, err)
+		return
+	}
+	g.mergedPages.Inc()
+	pages := (asm.total + g.cfg.PageSize - 1) / g.cfg.PageSize
+	if pages == 0 {
+		pages = 1
+	}
+	h := w.Header()
+	if v1 {
+		h.Set("X-API-Version", "1")
+		if asm.cc != "" {
+			h.Set("Cache-Control", asm.cc)
+		}
+		if asm.age != "" {
+			h.Set("Age", asm.age)
+		}
+		h.Set("Vary", "Accept-Encoding")
+	}
+	etag := asm.etag[:len(asm.etag)-1] + `-p0"`
+	h.Set("Etag", etag)
+	h.Set("X-Store-Day", asm.day)
+	if inmMatch(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	out := gwPage{Apps: asm.rows, Page: 0, Pages: pages, Total: asm.total}
+	if out.Apps == nil {
+		out.Apps = []json.RawMessage{}
+	}
+	var buf bytes.Buffer
+	json.NewEncoder(&buf).Encode(out) //nolint:errcheck
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.Write(buf.Bytes()) //nolint:errcheck // client gone; nothing useful to do
+}
+
+// inmMatch is If-None-Match per RFC 9110 (weak comparison, lists, *).
+func inmMatch(inm, etag string) bool {
+	if inm == "" {
+		return false
+	}
+	if inm == etag || inm == "*" {
+		return true
+	}
+	for _, tag := range strings.Split(inm, ",") {
+		tag = strings.TrimSpace(tag)
+		tag = strings.TrimPrefix(tag, "W/")
+		if tag == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// --- admin -----------------------------------------------------------------
+
+func (g *Gateway) serveRoll(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeAdmin(w, http.StatusMethodNotAllowed, adminDay{Error: "method_not_allowed"})
+		return
+	}
+	g.rollMu.Lock()
+	defer g.rollMu.Unlock()
+	day, err := AdvanceFleet(r.Context(), g.cfg.Shards)
+	if err != nil {
+		writeAdmin(w, http.StatusBadGateway, adminDay{Error: err.Error()})
+		return
+	}
+	writeAdmin(w, http.StatusOK, adminDay{Day: day})
+}
+
+func (g *Gateway) serveDay(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeAdmin(w, http.StatusMethodNotAllowed, adminDay{Error: "method_not_allowed"})
+		return
+	}
+	day, coherent, err := FleetDay(r.Context(), g.cfg.Shards)
+	if err != nil {
+		writeAdmin(w, http.StatusBadGateway, adminDay{Error: err.Error()})
+		return
+	}
+	if !coherent {
+		writeAdmin(w, http.StatusConflict, adminDay{Day: day, Error: "epoch_skew"})
+		return
+	}
+	writeAdmin(w, http.StatusOK, adminDay{Day: day})
+}
+
+// --- metrics ---------------------------------------------------------------
+
+// serveMetrics serves the fleet-wide exposition: the gateway's own
+// routing/merge counters plus every shard's node-labelled series, one
+// page, one TYPE header per family. In-process shards are read straight
+// from their registries; remote shards are scraped and their pages merged
+// textually.
+func (g *Gateway) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "Method Not Allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	local := true
+	for i := range g.cfg.Shards {
+		if g.cfg.Shards[i].Reg == nil {
+			local = false
+			break
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if local {
+		regs := make([]*metrics.Registry, 0, len(g.cfg.Shards)+1)
+		regs = append(regs, g.reg)
+		for i := range g.cfg.Shards {
+			regs = append(regs, g.cfg.Shards[i].Reg)
+		}
+		metrics.WriteMergedText(w, regs...)
+		return
+	}
+	pages := make([][]byte, 1, len(g.cfg.Shards)+1)
+	var own bytes.Buffer
+	g.reg.WriteText(&own)
+	pages[0] = own.Bytes()
+	for i := range g.cfg.Shards {
+		resp, err := g.cfg.Shards[i].get(r.Context(), "/metrics", nil)
+		if err != nil {
+			continue // a dead shard must not take the whole exposition down
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+		resp.Body.Close()
+		if err == nil && resp.StatusCode == http.StatusOK {
+			pages = append(pages, body)
+		}
+	}
+	mergeExpositionPages(w, pages)
+}
+
+// mergeExpositionPages regroups several exposition pages into one: every
+// family appears once, with a single TYPE header, its series from all
+// pages concatenated. Families are emitted in sorted order.
+func mergeExpositionPages(w io.Writer, pages [][]byte) {
+	type family struct {
+		typ   string
+		lines []string
+	}
+	fams := map[string]*family{}
+	var order []string
+	var current *family
+	for _, page := range pages {
+		current = nil
+		for _, line := range strings.Split(string(page), "\n") {
+			if line == "" {
+				continue
+			}
+			if strings.HasPrefix(line, "# TYPE ") {
+				parts := strings.Fields(line)
+				if len(parts) < 4 {
+					current = nil
+					continue
+				}
+				name, typ := parts[2], parts[3]
+				f, ok := fams[name]
+				if !ok {
+					f = &family{typ: typ}
+					fams[name] = f
+					order = append(order, name)
+				}
+				current = f
+				continue
+			}
+			if strings.HasPrefix(line, "#") {
+				continue
+			}
+			if current == nil {
+				// An untyped series: family is its bare name.
+				name := line
+				if i := strings.IndexAny(name, "{ "); i >= 0 {
+					name = name[:i]
+				}
+				f, ok := fams[name]
+				if !ok {
+					f = &family{}
+					fams[name] = f
+					order = append(order, name)
+				}
+				f.lines = append(f.lines, line)
+				continue
+			}
+			current.lines = append(current.lines, line)
+		}
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		f := fams[name]
+		if f.typ != "" {
+			io.WriteString(w, "# TYPE "+name+" "+f.typ+"\n") //nolint:errcheck
+		}
+		for _, line := range f.lines {
+			io.WriteString(w, line+"\n") //nolint:errcheck
+		}
+	}
+}

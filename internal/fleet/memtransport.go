@@ -1,0 +1,114 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+)
+
+// HandlerTransport is an http.RoundTripper that dispatches requests
+// straight into an http.Handler, no sockets involved. It is how the
+// in-process fleet (tests, loadtest -shards N) runs a gateway over N
+// shard handlers with the exact HTTP semantics of the wire — including
+// chaos: a fault-injected connection reset surfaces as a transport error,
+// not a phantom empty 200.
+type HandlerTransport struct {
+	Handler http.Handler
+}
+
+// ErrReset is the transport error surfaced when the handler killed the
+// "connection" (faultinject's KindReset hijacks and slams it shut).
+var ErrReset = errors.New("fleet: connection reset by handler")
+
+// RoundTrip implements http.RoundTripper.
+func (t HandlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := newMemRecorder()
+	aborted := func() (aborted bool) {
+		defer func() {
+			if p := recover(); p != nil {
+				if p == http.ErrAbortHandler {
+					aborted = true
+					return
+				}
+				panic(p)
+			}
+		}()
+		t.Handler.ServeHTTP(rec, req)
+		return false
+	}()
+	if rec.hijacked || aborted {
+		return nil, &net.OpError{Op: "read", Net: "mem", Err: ErrReset}
+	}
+	code := rec.code
+	if code == 0 {
+		code = http.StatusOK
+	}
+	body := rec.buf.Bytes()
+	resp := &http.Response{
+		Status:        strconv.Itoa(code) + " " + http.StatusText(code),
+		StatusCode:    code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        rec.header,
+		Body:          io.NopCloser(bytes.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+	return resp, nil
+}
+
+// memRecorder is the ResponseWriter behind HandlerTransport. It differs
+// from httptest's recorder in the two ways chaos needs: it implements
+// Hijack (returning a throwaway pipe) so KindReset's hijack path
+// registers as a dead connection instead of silently succeeding, and it
+// implements Flusher so slow-loris streaming exercises the same code it
+// does over a socket.
+type memRecorder struct {
+	header   http.Header
+	buf      bytes.Buffer
+	code     int
+	wrote    bool
+	hijacked bool
+}
+
+func newMemRecorder() *memRecorder {
+	return &memRecorder{header: make(http.Header)}
+}
+
+func (m *memRecorder) Header() http.Header { return m.header }
+
+func (m *memRecorder) WriteHeader(code int) {
+	if m.wrote {
+		return
+	}
+	m.wrote = true
+	m.code = code
+}
+
+func (m *memRecorder) Write(p []byte) (int, error) {
+	if m.hijacked {
+		return 0, http.ErrHijacked
+	}
+	if !m.wrote {
+		m.WriteHeader(http.StatusOK)
+	}
+	return m.buf.Write(p)
+}
+
+func (m *memRecorder) Flush() {}
+
+// Hijack hands the caller one end of an in-memory pipe and marks the
+// response dead. faultinject's resetConn closes the conn it gets; the
+// other end is simply dropped.
+func (m *memRecorder) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	m.hijacked = true
+	c1, c2 := net.Pipe()
+	go c2.Close() //nolint:errcheck
+	rw := bufio.NewReadWriter(bufio.NewReader(c1), bufio.NewWriter(c1))
+	return c1, rw, nil
+}

@@ -1,0 +1,115 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"planetapps/internal/storeserver"
+)
+
+// ShardNode dresses one storeserver.Server as a fleet member: the public
+// API and /metrics pass straight through, and an /admin/* surface exposes
+// the two-phase day-roll (prepare, commit, day). Admin routes sit outside
+// the store's chaos injector and rate limiter on purpose — the control
+// plane in a real fleet is a separate listener that faults and client
+// quotas don't touch, and the roll coordinator must stay reachable while
+// chaos is killing the data plane.
+type ShardNode struct {
+	srv *storeserver.Server
+	api http.Handler
+}
+
+// NewShardNode wraps srv.
+func NewShardNode(srv *storeserver.Server) *ShardNode {
+	return &ShardNode{srv: srv, api: srv.Handler()}
+}
+
+// Server returns the wrapped store server.
+func (n *ShardNode) Server() *storeserver.Server { return n.srv }
+
+// ServeHTTP implements http.Handler.
+func (n *ShardNode) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/admin/") {
+		n.admin(w, r)
+		return
+	}
+	n.api.ServeHTTP(w, r)
+}
+
+// adminDay is the admin surface's uniform response body.
+type adminDay struct {
+	Day   int    `json:"day"`
+	Error string `json:"error,omitempty"`
+}
+
+func writeAdmin(w http.ResponseWriter, status int, body adminDay) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body) //nolint:errcheck
+}
+
+func (n *ShardNode) admin(w http.ResponseWriter, r *http.Request) {
+	// want is the coordinator's expected day for this phase; -1 = none.
+	want := -1
+	if v := r.URL.Query().Get("day"); v != "" {
+		d, err := strconv.Atoi(v)
+		if err != nil || d < 0 {
+			writeAdmin(w, http.StatusBadRequest, adminDay{Day: n.srv.Day(), Error: "bad_day"})
+			return
+		}
+		want = d
+	}
+	switch r.URL.Path {
+	case "/admin/day":
+		if r.Method != http.MethodGet {
+			writeAdmin(w, http.StatusMethodNotAllowed, adminDay{Day: n.srv.Day(), Error: "method_not_allowed"})
+			return
+		}
+		writeAdmin(w, http.StatusOK, adminDay{Day: n.srv.Day()})
+	case "/admin/prepare":
+		if r.Method != http.MethodPost {
+			writeAdmin(w, http.StatusMethodNotAllowed, adminDay{Day: n.srv.Day(), Error: "method_not_allowed"})
+			return
+		}
+		day, err := n.srv.PrepareDay()
+		if err != nil {
+			writeAdmin(w, http.StatusConflict, adminDay{Day: n.srv.Day(), Error: err.Error()})
+			return
+		}
+		if want >= 0 && day != want {
+			writeAdmin(w, http.StatusConflict, adminDay{Day: day, Error: "day_mismatch"})
+			return
+		}
+		writeAdmin(w, http.StatusOK, adminDay{Day: day})
+	case "/admin/commit":
+		if r.Method != http.MethodPost {
+			writeAdmin(w, http.StatusMethodNotAllowed, adminDay{Day: n.srv.Day(), Error: "method_not_allowed"})
+			return
+		}
+		// Idempotent: a commit retry after the swap already happened is a
+		// success, and a commit that arrives at a shard which lost its
+		// pending snapshot (restart, prepare raced away) self-heals by
+		// re-preparing — PrepareDay is a no-op when the pending snapshot
+		// is already built.
+		if want >= 0 && n.srv.Day() == want {
+			writeAdmin(w, http.StatusOK, adminDay{Day: want})
+			return
+		}
+		if want >= 0 {
+			day, err := n.srv.PrepareDay()
+			if err != nil {
+				writeAdmin(w, http.StatusConflict, adminDay{Day: n.srv.Day(), Error: err.Error()})
+				return
+			}
+			if day != want {
+				writeAdmin(w, http.StatusConflict, adminDay{Day: day, Error: "day_mismatch"})
+				return
+			}
+		}
+		writeAdmin(w, http.StatusOK, adminDay{Day: n.srv.CommitDay()})
+	default:
+		writeAdmin(w, http.StatusNotFound, adminDay{Day: n.srv.Day(), Error: "not_found"})
+	}
+}

@@ -112,6 +112,15 @@ type Config struct {
 	// APKEvery issues a full APK download for every Nth event in addition
 	// to the metadata request (0 = metadata only).
 	APKEvery int
+	// ListEvery issues a catalog listing request (the first page) for
+	// every Nth event in addition to the metadata request (0 = none) —
+	// the catalog-browse slice of the workload mix. The first page is the
+	// only anchor every topology shares: cursors are opaque and
+	// target-specific (a fleet gateway mints its own), so a generator
+	// cannot fabricate mid-walk positions portably. Against a fleet this
+	// is also the expensive class — the gateway must scatter to every
+	// shard and merge, where a single node serves a pre-rendered page.
+	ListEvery int
 	// AcceptGzip negotiates compressed transfer: every request carries an
 	// explicit Accept-Encoding — "gzip" when set, "identity" when not —
 	// so the wire representation is deterministic and visible (the Go
@@ -132,10 +141,11 @@ type Config struct {
 	DayRollFn func() error
 }
 
-// Request classes reported separately: metadata detail lookups vs APK
-// payload downloads.
+// Request classes reported separately: metadata detail lookups, catalog
+// listing pages, and APK payload downloads.
 const (
 	ClassDetail = "detail"
+	ClassList   = "list"
 	ClassAPK    = "apk"
 )
 
@@ -192,6 +202,15 @@ type Generator struct {
 	rollDur  time.Duration
 	rollErr  error
 
+	// Epoch coherence check: once the roll has completed, every response
+	// to a request STARTED afterwards must come from the new snapshot —
+	// postRollDay pins the first X-Store-Day observed post-roll (-1 until
+	// then) and mixedEpoch counts responses that disagreed with it. Against
+	// a fleet this is the client-side proof that the two-phase swap never
+	// let an old epoch leak past its commit.
+	postRollDay atomic.Int64
+	mixedEpoch  metrics.Counter
+
 	// gcStart is the runtime GC state sampled when Run begins; report()
 	// diffs against a second sample to attribute GC activity to the run.
 	gcStart gcstats.Stats
@@ -243,9 +262,11 @@ func New(cfg Config) (*Generator, error) {
 		client: client,
 		classes: map[string]*classStats{
 			ClassDetail: newClassStats(),
+			ClassList:   newClassStats(),
 			ClassAPK:    newClassStats(),
 		},
 	}
+	g.postRollDay.Store(-1)
 	return g, nil
 }
 
@@ -281,9 +302,14 @@ func clientAddr(user int32) string {
 // issue performs one request and records it under class.
 func (g *Generator) issue(ctx context.Context, class string, ev model.Event) {
 	cs := g.classes[class]
-	url := g.cfg.BaseURL + g.cfg.APIPrefix + "/apps/" + strconv.Itoa(int(ev.App))
-	if class == ClassAPK {
-		url += "/apk"
+	url := g.cfg.BaseURL + g.cfg.APIPrefix
+	switch class {
+	case ClassList:
+		url += "/apps"
+	case ClassAPK:
+		url += "/apps/" + strconv.Itoa(int(ev.App)) + "/apk"
+	default:
+		url += "/apps/" + strconv.Itoa(int(ev.App))
 	}
 	rctx, cancel := context.WithTimeout(ctx, g.cfg.Timeout)
 	defer cancel()
@@ -331,6 +357,13 @@ func (g *Generator) issue(ctx context.Context, class string, ev model.Event) {
 		// snapshot's (possibly cold) response cache.
 		if mark := g.rollMark.Load(); mark > 0 && start.UnixNano() >= mark {
 			cs.postRoll.Observe(int64(elapsed))
+			if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusNotModified {
+				if day, err := strconv.Atoi(resp.Header.Get("X-Store-Day")); err == nil {
+					if !g.postRollDay.CompareAndSwap(-1, int64(day)) && g.postRollDay.Load() != int64(day) {
+						g.mixedEpoch.Inc()
+					}
+				}
+			}
 		} else {
 			cs.preRoll.Observe(int64(elapsed))
 		}
@@ -346,9 +379,13 @@ func (g *Generator) issue(ctx context.Context, class string, ev model.Event) {
 }
 
 // issueEvent replays one workload event: a metadata detail request, plus
-// an APK download for every APKEvery-th event.
+// a listing page for every ListEvery-th event and an APK download for
+// every APKEvery-th event.
 func (g *Generator) issueEvent(ctx context.Context, ev model.Event, n int64) {
 	g.issue(ctx, ClassDetail, ev)
+	if g.cfg.ListEvery > 0 && n%int64(g.cfg.ListEvery) == 0 {
+		g.issue(ctx, ClassList, ev)
+	}
 	if g.cfg.APKEvery > 0 && n%int64(g.cfg.APKEvery) == 0 {
 		g.issue(ctx, ClassAPK, ev)
 	}

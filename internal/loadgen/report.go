@@ -68,6 +68,13 @@ type DayRollReport struct {
 	// RollMS is how long the AdvanceDay itself took.
 	RollMS float64 `json:"roll_ms"`
 	Error  string  `json:"error,omitempty"`
+	// PostRollDay is the first X-Store-Day observed on a response whose
+	// request started after the roll completed (-1 if none were seen);
+	// MixedEpochResponses counts post-roll responses that disagreed with
+	// it. A working two-phase fleet swap keeps this at zero: once the
+	// commit returns, no client ever sees the old epoch again.
+	PostRollDay         int64 `json:"post_roll_day"`
+	MixedEpochResponses int64 `json:"mixed_epoch_responses"`
 }
 
 // GCReport summarizes the generator process's garbage-collection activity
@@ -120,7 +127,7 @@ func (g *Generator) report(elapsed time.Duration) *Report {
 		measured = 0
 	}
 	rep.MeasuredSec = measured.Seconds()
-	for _, class := range []string{ClassDetail, ClassAPK} {
+	for _, class := range []string{ClassDetail, ClassList, ClassAPK} {
 		cs := g.classes[class]
 		cr := ClassReport{
 			Class:         class,
@@ -144,7 +151,7 @@ func (g *Generator) report(elapsed time.Duration) *Report {
 				cr.PostRollMS, cr.PostRollCount = &s, post.Count
 			}
 		}
-		if cr.Requests == 0 && class == ClassAPK {
+		if cr.Requests == 0 && class != ClassDetail {
 			continue
 		}
 		rep.Requests += cr.Requests
@@ -162,11 +169,12 @@ func (g *Generator) report(elapsed time.Duration) *Report {
 		rep.ThroughputRPS = float64(rep.Requests) / rep.MeasuredSec
 	}
 	if g.cfg.DayRollAfter > 0 {
-		dr := &DayRollReport{}
+		dr := &DayRollReport{PostRollDay: g.postRollDay.Load()}
 		if mark := g.rollMark.Load(); mark > 0 {
 			dr.Rolled = true
 			dr.AtSec = float64(mark-g.startedAt.UnixNano()) / 1e9
 			dr.RollMS = float64(g.rollDur) / 1e6
+			dr.MixedEpochResponses = g.mixedEpoch.Value()
 			if g.rollErr != nil {
 				dr.Error = g.rollErr.Error()
 			}

@@ -1,6 +1,10 @@
 package marketsim
 
-import "planetapps/internal/catalog"
+import (
+	"sort"
+
+	"planetapps/internal/catalog"
+)
 
 // Export chunk geometry. 64 apps per chunk keeps a chunk's catalog rows
 // (64 x 64 B = one page) cheap to copy when dirty while making the clean
@@ -59,6 +63,62 @@ type Export struct {
 	dls      [][]int64
 	vers     [][]uint32
 	chunkVer []uint64
+
+	// ids, when non-nil, marks a sparse (partitioned) export: row i holds
+	// the app whose global ID is ids[i], sorted ascending. A nil ids means
+	// the export is dense — row i is app i — which is the invariant every
+	// pre-fleet consumer was built on; sparse exports are produced only by
+	// Partitioner.Partition. The slice is append-only across a
+	// partitioner's successive exports, so row i's identity never changes.
+	ids []int32
+}
+
+// Sparse reports whether the export is a partition (row index != app ID).
+func (e *Export) Sparse() bool { return e.ids != nil }
+
+// ID returns the global app ID of row i. Dense exports have ID(i) == i.
+func (e *Export) ID(i int) int32 {
+	if e.ids == nil {
+		return int32(i)
+	}
+	return e.ids[i]
+}
+
+// IndexOf returns the row index holding global app ID id, or ok=false when
+// the export does not contain it (out of range, or owned by another
+// partition). Dense exports answer in O(1); sparse ones binary-search.
+func (e *Export) IndexOf(id int32) (int, bool) {
+	if id < 0 {
+		return 0, false
+	}
+	if e.ids == nil {
+		if int(id) >= e.n {
+			return 0, false
+		}
+		return int(id), true
+	}
+	i := sort.Search(len(e.ids), func(j int) bool { return e.ids[j] >= id })
+	if i < len(e.ids) && e.ids[i] == id {
+		return i, true
+	}
+	return 0, false
+}
+
+// IndexAtOrAfter returns the smallest row index whose global app ID is
+// >= id (n when every row precedes id). This is the cursor-anchor
+// resolution: anchors are global IDs, so a cursor minted against one
+// topology resumes at the same app in any other.
+func (e *Export) IndexAtOrAfter(id int32) int {
+	if id <= 0 {
+		return 0
+	}
+	if e.ids == nil {
+		if int(id) > e.n {
+			return e.n
+		}
+		return int(id)
+	}
+	return sort.Search(len(e.ids), func(j int) bool { return e.ids[j] >= id })
 }
 
 // Store returns the store name.

@@ -1,0 +1,183 @@
+package marketsim
+
+import "planetapps/internal/catalog"
+
+// Partitioner carves a shard's slice out of successive dense Exports of
+// one market, preserving the chunked copy-on-write structure that makes
+// day-rolls incremental. A fleet of N store nodes each runs the same
+// deterministic market (same config, same seed — Exports are
+// byte-identical across processes) and partitions it with its own
+// ownership predicate; the union of the fleet's partitions is exactly the
+// full catalog, row for row.
+//
+// The partition is itself an Export, chunked in partition row space:
+// chunk c of the partition covers the shard's rows [c*ExportChunk,
+// (c+1)*ExportChunk), not the full catalog's. Because the catalog is
+// append-only and the ownership predicate is a pure function of the global
+// app ID, the partition's row list only ever grows at the tail, so a row's
+// partition index is stable for the life of the shard — the property the
+// snapshot layer's chunk-granular document carry depends on.
+//
+// Sharing: a partition chunk whose every row has an unchanged RowVer since
+// the previous Partition call is shared with the previous partitioned
+// export (both the download and version vectors at ExportChunk grain and
+// the catalog rows at appExportChunk grain), so per-shard day-roll cost is
+// proportional to the shard's churn, exactly as the dense export's is.
+// The scan to decide sharing is O(shard size) integer compares — a few
+// microseconds per hundred thousand rows, noise next to the market step.
+type Partitioner struct {
+	owns func(id int32) bool
+
+	// scanned is how many global rows have been classified so far; ids is
+	// the append-only owned-ID list (ascending, because global IDs are
+	// scanned in order and arrivals only append).
+	scanned int
+	ids     []int32
+
+	prev *Export // previous partitioned export, for chunk sharing
+}
+
+// NewPartitioner returns a partitioner owning the apps for which owns
+// returns true. owns must be deterministic and stable for the life of the
+// fleet topology (a consistent-hash ring lookup, a modulus, ...).
+func NewPartitioner(owns func(id int32) bool) *Partitioner {
+	return &Partitioner{owns: owns}
+}
+
+// NumOwned returns how many apps the partitioner currently owns.
+func (p *Partitioner) NumOwned() int { return len(p.ids) }
+
+// Partition projects a dense export onto the shard. full must come from
+// the same market on every call (monotone days, append-only catalog).
+// Like Market.Export, Partition must not run concurrently with itself;
+// the returned Export is immutable and safe to share.
+func (p *Partitioner) Partition(full *Export) *Export {
+	// Extend the owned-ID list over any newly arrived apps.
+	for g := p.scanned; g < full.NumApps(); g++ {
+		if id := full.ID(g); p.owns(id) {
+			p.ids = append(p.ids, id)
+		}
+	}
+	p.scanned = full.NumApps()
+
+	n := len(p.ids)
+	nc := numChunks(n)
+	nca := numAppChunks(n)
+	e := &Export{
+		store:    full.store,
+		day:      full.day,
+		n:        n,
+		catNames: full.catNames,
+		devNames: full.devNames,
+		apps:     make([][]catalog.App, nca),
+		dls:      make([][]int64, nc),
+		vers:     make([][]uint32, nc),
+		chunkVer: make([]uint64, nc),
+		ids:      p.ids[:n:n],
+	}
+	prev := p.prev
+
+	// Pass 1: decide sharing per chunk and size the fresh backing arrays.
+	// A chunk is shareable iff the previous partition has it at the same
+	// length (the tail chunk grows with arrivals) and every row's RowVer is
+	// unchanged — RowVer covers both the catalog row and the download
+	// count, so one test clears the row and download vectors together.
+	var nApps, nDLs int
+	for c := 0; c < nc; c++ {
+		lo, hi := chunkSpan(c, n)
+		if prev != nil && c < len(prev.vers) && len(prev.vers[c]) == hi-lo {
+			pv := prev.vers[c]
+			same := true
+			for j := lo; j < hi; j++ {
+				if full.RowVer(int(e.ids[j])) != pv[j-lo] {
+					same = false
+					break
+				}
+			}
+			if same {
+				e.vers[c] = pv
+				e.dls[c] = prev.dls[c]
+				e.chunkVer[c] = prev.chunkVer[c]
+				continue
+			}
+		}
+		nDLs += hi - lo
+	}
+	for c := 0; c < nca; c++ {
+		lo := c << appChunkShift
+		hi := lo + appExportChunk
+		if hi > n {
+			hi = n
+		}
+		if prev != nil && c < len(prev.apps) && len(prev.apps[c]) == hi-lo {
+			same := true
+			for j := lo; j < hi; j++ {
+				if full.RowVer(int(e.ids[j])) != prev.RowVer(j) {
+					same = false
+					break
+				}
+			}
+			if same {
+				e.apps[c] = prev.apps[c]
+				continue
+			}
+		}
+		nApps += hi - lo
+	}
+
+	// Pass 2: copy the dirty chunks out of the full export, carving all
+	// fresh chunks of a family from one backing allocation. The fresh
+	// chunk version is the sum of (RowVer+1) over the chunk's rows: every
+	// term is per-row monotone and the row set only grows at the tail, so
+	// the sum is monotone across the partitioner's exports and equal sums
+	// imply row-by-row equality — the same contract dense ChunkVer gives.
+	freshDLs := make([]int64, 0, nDLs)
+	freshVers := make([]uint32, 0, nDLs)
+	for c := 0; c < nc; c++ {
+		if e.vers[c] != nil {
+			continue
+		}
+		lo, hi := chunkSpan(c, n)
+		offD, offV := len(freshDLs), len(freshVers)
+		var cv uint64
+		for j := lo; j < hi; j++ {
+			g := int(e.ids[j])
+			rv := full.RowVer(g)
+			freshDLs = append(freshDLs, full.Downloads(g))
+			freshVers = append(freshVers, rv)
+			cv += uint64(rv) + 1
+		}
+		e.dls[c] = freshDLs[offD:len(freshDLs):len(freshDLs)]
+		e.vers[c] = freshVers[offV:len(freshVers):len(freshVers)]
+		e.chunkVer[c] = cv
+	}
+	freshApps := make([]catalog.App, 0, nApps)
+	for c := 0; c < nca; c++ {
+		if e.apps[c] != nil {
+			continue
+		}
+		lo := c << appChunkShift
+		hi := lo + appExportChunk
+		if hi > n {
+			hi = n
+		}
+		off := len(freshApps)
+		for j := lo; j < hi; j++ {
+			freshApps = append(freshApps, full.App(int(e.ids[j])))
+		}
+		e.apps[c] = freshApps[off:len(freshApps):len(freshApps)]
+	}
+
+	// The shard's download total: summed over owned rows only, so the
+	// fleet's totals add up to the dense export's.
+	var total int64
+	for c := 0; c < nc; c++ {
+		for _, d := range e.dls[c] {
+			total += d
+		}
+	}
+	e.total = total
+
+	p.prev = e
+	return e
+}

@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNodeLabelExposition checks that SetNode folds a constant node label
+// into every exposed series, including labeled families and histogram
+// summary lines.
+func TestNodeLabelExposition(t *testing.T) {
+	r := NewRegistry()
+	r.SetNode("shard-2")
+	r.Counter("reqs_total").Add(3)
+	r.Counter(`reqs_total{route="list"}`).Add(5)
+	r.Gauge("in_flight").Set(1)
+	r.Histogram("lat_seconds").Observe(2e9)
+
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{
+		`reqs_total{node="shard-2"} 3`,
+		`reqs_total{route="list",node="shard-2"} 5`,
+		`in_flight{node="shard-2"} 1`,
+		`lat_seconds{node="shard-2",quantile="0.5"}`,
+		`lat_seconds_sum{node="shard-2"} 2`,
+		`lat_seconds_count{node="shard-2"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if r.Node() != "shard-2" {
+		t.Fatalf("Node() = %q", r.Node())
+	}
+}
+
+// TestWriteMergedText checks that several node-labeled registries share
+// one page with a single # TYPE header per family and no series
+// collisions.
+func TestWriteMergedText(t *testing.T) {
+	a, bb := NewRegistry(), NewRegistry()
+	a.SetNode("shard-0")
+	bb.SetNode("shard-1")
+	a.Counter("reqs_total").Add(1)
+	bb.Counter("reqs_total").Add(2)
+	bb.Counter("other_total").Add(7)
+
+	var sb strings.Builder
+	WriteMergedText(&sb, a, bb, nil)
+	out := sb.String()
+
+	if got := strings.Count(out, "# TYPE reqs_total counter"); got != 1 {
+		t.Fatalf("want exactly one TYPE header for reqs_total, got %d:\n%s", got, out)
+	}
+	for _, want := range []string{
+		`reqs_total{node="shard-0"} 1`,
+		`reqs_total{node="shard-1"} 2`,
+		`other_total{node="shard-1"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("merged exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The two shard series must sit under the same family header, shard-0
+	// before shard-1 (sorted by full series name).
+	i0 := strings.Index(out, `reqs_total{node="shard-0"}`)
+	i1 := strings.Index(out, `reqs_total{node="shard-1"}`)
+	if i0 < 0 || i1 < 0 || i0 > i1 {
+		t.Fatalf("merged series out of order:\n%s", out)
+	}
+}

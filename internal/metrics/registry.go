@@ -20,6 +20,28 @@ import (
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*entry
+
+	// node, when non-empty, is a constant `node="..."` label appended to
+	// every exposed series. Registries are already per-server instances, so
+	// an in-process fleet never collides on counters — the label is what
+	// keeps the series distinguishable once several nodes' registries are
+	// merged onto one page (see WriteMergedText, the gateway's /metrics).
+	node string
+}
+
+// SetNode attaches a constant node label to every series this registry
+// exposes. Call once at construction, before the registry is scraped.
+func (r *Registry) SetNode(node string) {
+	r.mu.Lock()
+	r.node = node
+	r.mu.Unlock()
+}
+
+// Node returns the registry's node label ("" when unset).
+func (r *Registry) Node() string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.node
 }
 
 type entry struct {
@@ -140,56 +162,122 @@ var histQuantiles = []struct {
 	{"0.999", 0.999},
 }
 
-// WriteText writes the registry in the Prometheus text exposition format,
-// sorted by name, with histograms rendered as summaries (quantile series
-// plus _sum and _count) in seconds.
-func (r *Registry) WriteText(w io.Writer) {
+// expoEntry is one renderable exposition unit — a counter/gauge line or a
+// histogram's whole summary block — with the registry's node label already
+// folded into the series names. Collecting entries (rather than writing
+// directly) is what lets WriteMergedText interleave several registries
+// under shared `# TYPE` headers.
+type expoEntry struct {
+	base  string
+	typ   string
+	name  string // full series name, node label applied
+	lines []string
+}
+
+// collect snapshots the registry into renderable entries.
+func (r *Registry) collect() []expoEntry {
 	r.mu.RLock()
+	node := r.node
 	names := make([]string, 0, len(r.entries))
-	entries := make([]*entry, 0, len(r.entries))
 	for n := range r.entries {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	entries := make([]*entry, 0, len(names))
 	for _, n := range names {
 		entries = append(entries, r.entries[n])
 	}
 	r.mu.RUnlock()
 
-	lastBase := ""
+	out := make([]expoEntry, 0, len(entries))
 	for _, e := range entries {
 		base, labels := splitName(e.name)
+		if node != "" {
+			labels = joinLabels(labels, `node="`+node+`"`)
+		}
+		name := base
+		if labels != "" {
+			name = base + "{" + labels + "}"
+		}
 		switch {
 		case e.c != nil:
-			if base != lastBase {
-				fmt.Fprintf(w, "# TYPE %s counter\n", base)
-			}
-			fmt.Fprintf(w, "%s %d\n", e.name, e.c.Value())
+			out = append(out, expoEntry{base: base, typ: "counter", name: name,
+				lines: []string{fmt.Sprintf("%s %d", name, e.c.Value())}})
 		case e.g != nil:
-			if base != lastBase {
-				fmt.Fprintf(w, "# TYPE %s gauge\n", base)
-			}
-			fmt.Fprintf(w, "%s %d\n", e.name, e.g.Value())
+			out = append(out, expoEntry{base: base, typ: "gauge", name: name,
+				lines: []string{fmt.Sprintf("%s %d", name, e.g.Value())}})
 		case e.h != nil:
-			if base != lastBase {
-				fmt.Fprintf(w, "# TYPE %s summary\n", base)
-			}
 			s := e.h.Snapshot()
+			lines := make([]string, 0, len(histQuantiles)+2)
 			for _, hq := range histQuantiles {
-				fmt.Fprintf(w, "%s %g\n",
+				lines = append(lines, fmt.Sprintf("%s %g",
 					withLabel(base, labels, `quantile="`+hq.label+`"`),
-					float64(s.Quantile(hq.q))/1e9)
+					float64(s.Quantile(hq.q))/1e9))
 			}
 			sumName, countName := base+"_sum", base+"_count"
 			if labels != "" {
 				sumName += "{" + labels + "}"
 				countName += "{" + labels + "}"
 			}
-			fmt.Fprintf(w, "%s %g\n", sumName, float64(s.Sum)/1e9)
-			fmt.Fprintf(w, "%s %d\n", countName, s.Count)
+			lines = append(lines, fmt.Sprintf("%s %g", sumName, float64(s.Sum)/1e9))
+			lines = append(lines, fmt.Sprintf("%s %d", countName, s.Count))
+			out = append(out, expoEntry{base: base, typ: "summary", name: name, lines: lines})
 		}
-		lastBase = base
 	}
+	return out
+}
+
+// joinLabels concatenates two label fragments, either possibly empty.
+func joinLabels(a, b string) string {
+	switch {
+	case a == "":
+		return b
+	case b == "":
+		return a
+	}
+	return a + "," + b
+}
+
+// writeEntries renders entries sorted by (base, name) with one `# TYPE`
+// header per family.
+func writeEntries(w io.Writer, entries []expoEntry) {
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].base != entries[j].base {
+			return entries[i].base < entries[j].base
+		}
+		return entries[i].name < entries[j].name
+	})
+	lastBase := ""
+	for _, e := range entries {
+		if e.base != lastBase {
+			fmt.Fprintf(w, "# TYPE %s %s\n", e.base, e.typ)
+			lastBase = e.base
+		}
+		for _, ln := range e.lines {
+			fmt.Fprintln(w, ln)
+		}
+	}
+}
+
+// WriteText writes the registry in the Prometheus text exposition format,
+// sorted by name, with histograms rendered as summaries (quantile series
+// plus _sum and _count) in seconds.
+func (r *Registry) WriteText(w io.Writer) {
+	writeEntries(w, r.collect())
+}
+
+// WriteMergedText writes several registries onto one exposition page —
+// the fleet gateway's /metrics, where each shard's registry carries its
+// own node label and same-named families from different nodes interleave
+// under a single `# TYPE` header. Nil registries are skipped.
+func WriteMergedText(w io.Writer, regs ...*Registry) {
+	var all []expoEntry
+	for _, r := range regs {
+		if r != nil {
+			all = append(all, r.collect()...)
+		}
+	}
+	writeEntries(w, all)
 }
 
 // Handler returns an HTTP handler serving the text exposition.

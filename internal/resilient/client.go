@@ -34,6 +34,7 @@ import (
 	"net/http"
 	neturl "net/url"
 	"strconv"
+	"strings"
 	"time"
 
 	"planetapps/internal/gzipx"
@@ -284,10 +285,7 @@ func (c *Client) Get(ctx context.Context, url string, hdr http.Header, validate 
 	start := c.clock.Now()
 	defer func() { c.latency.Observe(int64(c.clock.Now().Sub(start))) }()
 
-	host := url
-	if u, err := neturl.Parse(url); err == nil && u.Host != "" {
-		host = u.Host
-	}
+	host := hostKey(url)
 	var lastErr error
 	var lastRes *Result
 	var hint, hintWaited time.Duration
@@ -345,6 +343,33 @@ func (c *Client) Get(ctx context.Context, url string, hdr http.Header, validate 
 			}
 		}
 	}
+}
+
+// hostKey derives the circuit-breaker / health key for a URL: host AND
+// port. A fleet of shards co-located on one address ("127.0.0.1:9001",
+// "127.0.0.1:9002", ...) must hold independent breakers — one sick shard
+// tripping the whole fleet's breaker would turn a single-node failure
+// into a full-fleet outage from the client's point of view. Elided
+// default ports are normalized (http → :80, https → :443) so
+// "http://host" and "http://host:80" share one breaker, as they share one
+// listener. Unparseable URLs key on the raw string.
+func hostKey(url string) string {
+	u, err := neturl.Parse(url)
+	if err != nil || u.Host == "" {
+		return url
+	}
+	host := u.Host
+	if strings.LastIndexByte(host, ':') <= strings.LastIndexByte(host, ']') {
+		// No explicit port (the ']' guard keeps bracketed IPv6 literals,
+		// whose colons are address bytes, out of the port check).
+		switch u.Scheme {
+		case "https":
+			host += ":443"
+		default:
+			host += ":80"
+		}
+	}
+	return host
 }
 
 // attempt runs one admission-gated, breaker-guarded, possibly hedged

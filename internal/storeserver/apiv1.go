@@ -151,13 +151,26 @@ type CursorPageJSON struct {
 // detected instead of misparsed.
 const cursorPrefix = "a"
 
-// encodeCursor renders the opaque cursor anchored at app ID next. The
-// catalog is append-only and app i has ID i, so an ID anchor — unlike a
-// page number — addresses the same apps before and after a day-roll: a
-// crawl paginating across AdvanceDay sees every app exactly once.
+// encodeCursor renders the opaque cursor anchored at the *global app ID*
+// next. The catalog is append-only, so an ID anchor — unlike a page
+// number — addresses the same apps before and after a day-roll: a crawl
+// paginating across AdvanceDay sees every app exactly once. Anchoring on
+// the global ID (not the row index — the two coincide on dense exports,
+// so the wire bytes predate the fleet unchanged) is also what makes a
+// cursor meaningful on a partitioned shard, where it resumes at the first
+// owned app at-or-after the anchor.
 func encodeCursor(next int) string {
 	return base64.RawURLEncoding.EncodeToString([]byte(cursorPrefix + strconv.Itoa(next)))
 }
+
+// EncodeCursor renders the opaque /api/v1 listing cursor anchored at the
+// given global app ID — for clients (the fleet gateway, loadgen) that
+// compose cursor walks without having seen a next_cursor yet.
+func EncodeCursor(id int) string { return encodeCursor(id) }
+
+// DecodeCursor parses an opaque cursor minted by EncodeCursor back into
+// its global app ID anchor; ok is false for anything else.
+func DecodeCursor(cur string) (int, bool) { return decodeCursor(cur) }
 
 // decodeCursor parses an opaque cursor; ok is false for anything not
 // produced by encodeCursor. Decoding goes through stack buffers — a
@@ -202,9 +215,29 @@ func (s *Server) handleCursorV1(w http.ResponseWriter, r *http.Request, sn *snap
 				"cursor is invalid or from an incompatible version", 0)
 			return
 		}
-		lo = v
+		// The anchor is a global app ID; resolve it to the first at-or-
+		// after row. On dense exports that is the identity (clamped), so
+		// pre-fleet cursor walks see unchanged responses; on a shard it
+		// skips rows other partitions own.
+		lo = sn.ex.IndexAtOrAfter(int32(v)) // decodeCursor caps at MaxInt32
 	}
-	hi := lo + sn.pageSize
+	size := sn.pageSize
+	if lim, ok := queryValue(r.URL.RawQuery, "limit"); ok && lim != "" {
+		v, ok := parsePage(lim)
+		if !ok || v == 0 {
+			writeV1Error(w, http.StatusBadRequest, "bad_limit",
+				"limit must be a positive integer", 0)
+			return
+		}
+		// A limit above the configured page size is clamped, not
+		// rejected: the page size is the server's protection, the limit
+		// the client's economy (the gateway's exhausted-shard probes ask
+		// for limit=1).
+		if v < size {
+			size = v
+		}
+	}
+	hi := lo + size
 	if hi > sn.n {
 		hi = sn.n
 	}
@@ -216,6 +249,13 @@ func (s *Server) handleCursorV1(w http.ResponseWriter, r *http.Request, sn *snap
 	}
 	etag := `"u` + strconv.Itoa(lo) + `-n` + strconv.Itoa(sn.n) +
 		`-v` + strconv.FormatUint(sn.ex.VersionSum(lo, hi), 10) + `"`
+	if size != sn.pageSize {
+		// Non-default limits join the slice length into the validator:
+		// VersionSum is chunk-granular, so two different-length slices
+		// inside one chunk would otherwise share an ETag. Default-size
+		// requests keep their historical (pre-limit) ETags.
+		etag = etag[:len(etag)-1] + `-k` + strconv.Itoa(size) + `"`
+	}
 	h := w.Header()
 	hset(h, hdrAPIVersion, apiVersion)
 	s.freshness(h, sn)
@@ -230,7 +270,10 @@ func (s *Server) handleCursorV1(w http.ResponseWriter, r *http.Request, sn *snap
 		out.Apps = append(out.Apps, sn.appJSON(i))
 	}
 	if hi < sn.n {
-		out.NextCursor = encodeCursor(hi)
+		// The next anchor is the global ID of the first unserved row —
+		// identical to the row index on dense exports, so single-node
+		// cursor chains are byte-for-byte what they always were.
+		out.NextCursor = encodeCursor(int(sn.ex.ID(hi)))
 	}
 	buf := bufPool.Get().(*bytes.Buffer)
 	buf.Reset()

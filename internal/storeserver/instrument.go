@@ -27,6 +27,11 @@ var commonCodes = []int{
 
 func (s *Server) initMetrics() {
 	s.reg = metrics.NewRegistry()
+	if s.cfg.Node != "" {
+		// Fleet members label every series with their node name so the
+		// gateway's merged /metrics page keeps N shards' counters apart.
+		s.reg.SetNode(s.cfg.Node)
+	}
 	s.total = s.reg.Counter("store_requests_total")
 	s.limited = s.reg.Counter("store_rate_limited_total")
 	s.inFlight = s.reg.Gauge("store_in_flight")

@@ -263,7 +263,13 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind int, v1 b
 			}
 			return
 		}
-		if int(id) >= sn.n {
+		// The URL carries the app's global ID; resolve it to a row index.
+		// Dense (single-node) exports resolve in O(1) with the historical
+		// id-beyond-catalog 404; a partitioned shard binary-searches its
+		// owned rows and 404s IDs it does not own — the gateway never
+		// sends those, but a direct probe must not crash into a wrong app.
+		idx, ok := sn.ex.IndexOf(id)
+		if !ok {
 			if v1 {
 				writeV1Error(w, http.StatusNotFound, "app_not_found",
 					"no app with id "+strconv.FormatInt(int64(id), 10), 0)
@@ -275,22 +281,22 @@ func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind int, v1 b
 		switch kind {
 		case rDetail:
 			if v1 {
-				s.v1Doc(w, r, sn, sn.detailDoc(int(id)))
+				s.v1Doc(w, r, sn, sn.detailDoc(idx))
 			} else {
-				serveDoc(w, r, sn, sn.detailDoc(int(id)), false)
+				serveDoc(w, r, sn, sn.detailDoc(idx), false)
 			}
 		case rComments:
 			if v1 {
-				s.v1Doc(w, r, sn, sn.commentsDoc(int(id)))
+				s.v1Doc(w, r, sn, sn.commentsDoc(idx))
 			} else {
-				serveDoc(w, r, sn, sn.commentsDoc(int(id)), false)
+				serveDoc(w, r, sn, sn.commentsDoc(idx), false)
 			}
 		case rAPK:
 			if v1 {
 				hset(w.Header(), hdrAPIVersion, apiVersion)
 				s.freshness(w.Header(), sn)
 			}
-			s.handleAPK(w, r, sn, id)
+			s.handleAPK(w, r, sn, idx)
 		}
 	}
 }

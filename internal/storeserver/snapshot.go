@@ -386,25 +386,30 @@ func (sn *snapshot) listDoc(p int) docView {
 	})
 }
 
-// detailDoc returns app i's detail document. The ETag encodes the app's
-// row version — which advances only when the app's servable content
-// (row fields or download count) changes — so an unchanged app keeps its
-// ETag across day-rolls and a conditional crawler gets a true 304.
+// detailDoc returns row i's detail document. The ETag encodes the app's
+// global ID and row version — which advances only when the app's servable
+// content (row fields or download count) changes — so an unchanged app
+// keeps its ETag across day-rolls (a conditional crawler gets a true 304)
+// and across topologies (a shard mints the same ETag a single node
+// would: dense exports have ID(i) == i, so the wire bytes are unchanged).
 func (sn *snapshot) detailDoc(i int) docView {
 	return sn.detail.get(sn, i, func(buf *bytes.Buffer) string {
 		encodeJSON(buf, sn.appJSON(i))
-		return `"a` + strconv.Itoa(i) + `-r` + strconv.FormatUint(uint64(sn.ex.RowVer(i)), 10) + `"`
+		return `"a` + strconv.FormatInt(int64(sn.ex.ID(i)), 10) +
+			`-r` + strconv.FormatUint(uint64(sn.ex.RowVer(i)), 10) + `"`
 	})
 }
 
-// commentsDoc returns app i's comment stream document.
+// commentsDoc returns row i's comment stream document, keyed and ETagged
+// by the app's global ID (identical to the row index on dense exports).
 func (sn *snapshot) commentsDoc(i int) docView {
 	return sn.comDocs.get(sn, i, func(buf *bytes.Buffer) string {
-		cs := sn.comments[catalog.AppID(i)]
+		id := sn.ex.ID(i)
+		cs := sn.comments[catalog.AppID(id)]
 		if cs == nil {
 			cs = []CommentJSON{}
 		}
 		encodeJSON(buf, cs)
-		return `"c` + strconv.FormatInt(sn.commentsGen, 10) + `-` + strconv.Itoa(i) + `"`
+		return `"c` + strconv.FormatInt(sn.commentsGen, 10) + `-` + strconv.FormatInt(int64(id), 10) + `"`
 	})
 }

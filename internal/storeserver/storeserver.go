@@ -108,6 +108,23 @@ type Config struct {
 	// with Age 0. Zero advertises max-age=0 — always revalidate — the
 	// strictly correct stance when the next roll is unscheduled.
 	FreshFor time.Duration
+	// Node names this server instance in its metrics registry (the
+	// `node` label on every exposed series). Empty for single-node
+	// deployments; fleet members set "shard-0", "shard-1", ... so the
+	// gateway's merged /metrics page keeps their series apart.
+	Node string
+	// Partition, when set, restricts the server to its shard of the
+	// catalog: every market export is projected through the partitioner
+	// before snapshotting, so the server holds (and serves) only the rows
+	// it owns, under their global app IDs. The full market still steps
+	// underneath — all fleet members run the same deterministic
+	// simulation and carve disjoint slices out of it.
+	Partition *marketsim.Partitioner
+	// Capacity bounds concurrently serviced API requests (0 = unbounded).
+	// Together with Latency it models a fixed-capacity store machine —
+	// max throughput Capacity/Latency — which is what the fleet scaling
+	// benchmark measures against on a host with fewer cores than shards.
+	Capacity int
 }
 
 // DefaultConfig returns a config suitable for in-process crawling tests.
@@ -132,7 +149,14 @@ type Server struct {
 	// response.
 	snap atomic.Pointer[snapshot]
 
+	// pending holds a snapshot built by PrepareDay but not yet committed —
+	// phase 1 of the fleet's two-phase day-roll. Guarded by mu.
+	pending *snapshot
+
 	lim *limiter
+
+	// capSem, when non-nil, is the Capacity admission semaphore.
+	capSem chan struct{}
 
 	// chaos, when set via SetChaos before Handler, injects scenario faults
 	// into the API routes (never /metrics).
@@ -192,7 +216,20 @@ func New(m *marketsim.Market, cfg Config) *Server {
 	if cfg.RatePerSec > 0 {
 		s.lim = newLimiter(cfg.RatePerSec, cfg.Burst, cfg.IdleTTL)
 	}
+	if cfg.Capacity > 0 {
+		s.capSem = make(chan struct{}, cfg.Capacity)
+	}
 	return s
+}
+
+// export freezes the market's serving state, projected onto this node's
+// partition when one is configured.
+func (s *Server) export() *marketsim.Export {
+	e := s.market.Export()
+	if s.cfg.Partition != nil {
+		e = s.cfg.Partition.Partition(e)
+	}
+	return e
 }
 
 // publish freezes the market plus the current comment set into a new
@@ -201,16 +238,66 @@ func New(m *marketsim.Market, cfg Config) *Server {
 // Callers must hold s.mu (the constructor is exempt: the server has not
 // escaped yet).
 func (s *Server) publish() {
+	s.install(s.build())
+}
+
+// build freezes the current market + comment state into a snapshot
+// without swapping it in (phase 1 of a two-phase roll). Callers hold mu.
+func (s *Server) build() *snapshot {
 	start := time.Now()
 	prev := s.snap.Load()
-	sn := newSnapshot(s.market.Export(), prev, s.comments, s.commentsGen, s.cfg.PageSize, s.pool)
-	s.snap.Store(sn)
+	sn := newSnapshot(s.export(), prev, s.comments, s.commentsGen, s.cfg.PageSize, s.pool)
 	s.buildSeconds.ObserveSince(start)
+	return sn
+}
+
+// install swaps a built snapshot in and accounts for it (phase 2).
+// Callers hold mu.
+func (s *Server) install(sn *snapshot) {
+	s.snap.Store(sn)
 	s.carried.Add(sn.carried)
 	s.reencoded.Add(sn.reencoded)
 	s.movedDocs.Add(sn.moved)
 	s.compactions.Add(sn.compacted)
 	s.prewarm(sn)
+}
+
+// PrepareDay is phase 1 of the fleet's two-phase day-roll: step the
+// market one day and build — but do not serve — the next snapshot.
+// Requests keep hitting the previous day until CommitDay. Idempotent
+// while a prepared day is pending (a coordinator retrying phase 1 against
+// a shard that already prepared gets the same day back). Returns the
+// prepared day.
+func (s *Server) PrepareDay() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending != nil {
+		return s.pending.day, nil
+	}
+	if err := s.market.Step(); err != nil {
+		return 0, err
+	}
+	s.pending = s.build()
+	return s.pending.day, nil
+}
+
+// CommitDay is phase 2: atomically swap the prepared snapshot into
+// service. The swap is one atomic pointer store, so across a fleet the
+// commit fan-out happens in microseconds even when the builds took
+// milliseconds — the window in which shards disagree about the day is as
+// narrow as it can be made without a global stop-the-world. Returns the
+// serving day; without a pending snapshot it is a no-op (idempotent
+// commit retries are safe).
+func (s *Server) CommitDay() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending == nil {
+		return s.snap.Load().day
+	}
+	sn := s.pending
+	s.pending = nil
+	s.install(sn)
+	return sn.day
 }
 
 // SetComments attaches a generated comment stream, grouped per app, served
@@ -227,6 +314,9 @@ func (s *Server) SetComments(cs []comments.Comment) {
 	defer s.mu.Unlock()
 	s.comments = grouped
 	s.commentsGen++
+	// A snapshot prepared before this call would serve the old comment
+	// set; discard it rather than commit stale state.
+	s.pending = nil
 	s.publish()
 }
 
@@ -237,6 +327,7 @@ func (s *Server) SetComments(cs []comments.Comment) {
 func (s *Server) AdvanceDay() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.pending = nil // a single-node roll supersedes any prepared phase
 	if err := s.market.Step(); err != nil {
 		return err
 	}
@@ -304,6 +395,10 @@ func (s *Server) limit(next http.Handler) http.Handler {
 				}
 				return
 			}
+		}
+		if s.capSem != nil {
+			s.capSem <- struct{}{}
+			defer func() { <-s.capSem }()
 		}
 		if s.cfg.Latency > 0 {
 			time.Sleep(s.cfg.Latency)
@@ -406,8 +501,9 @@ const apkScale = 1024
 // ("we download each app version only once"). Unlike the JSON documents the
 // body is streamed, not cached: APKs are the one payload large enough that
 // caching every warm one would swamp the snapshot's footprint.
-func (s *Server) handleAPK(w http.ResponseWriter, r *http.Request, sn *snapshot, id int32) {
-	a := sn.ex.App(int(id))
+func (s *Server) handleAPK(w http.ResponseWriter, r *http.Request, sn *snapshot, idx int) {
+	a := sn.ex.App(idx)
+	id := int32(a.ID)
 	etag := `"v` + strconv.Itoa(a.Versions) + `"`
 	w.Header().Set("ETag", etag)
 	if etagMatch(r.Header.Get("If-None-Match"), etag) {

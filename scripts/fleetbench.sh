@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# fleetbench.sh — read-scaling benchmark for the sharded store fleet.
+#
+# Measures closed-loop list+detail throughput against 1, 2, and 4 store
+# nodes (the 1-node run bypasses the gateway entirely; the fleet runs go
+# through the consistent-hash gateway's scatter/merge), then runs a
+# 4-shard pass with a mid-run two-phase fleet day-roll to pin the epoch
+# coherence numbers. Results land in BENCH_fleet.json.
+#
+# The capacity model: every store node is a fixed-capacity machine
+# serving at most CAPACITY concurrent requests, each taking LATENCY of
+# wall-clock service time, so a node's throughput ceiling is
+# CAPACITY/LATENCY regardless of host CPU. Coarse slots (200ms x 80 =
+# 400 req/s) keep Go timer wakeup slack (~1-2ms on a loaded single-CPU
+# host) proportionally negligible, so the measured ceilings track the
+# model instead of the scheduler. Closed-loop virtual users scale with
+# the fleet (160 per node's worth of capacity) so every topology is
+# driven to saturation; throughput is then bounded by the hottest
+# shard's share of arrivals — the number the ring's balance controls.
+#
+# The workload is the uniform-popularity download stream (-model zipf
+# -zipf 0) over the full-scale 2200-app catalog: uniform arrivals make
+# the measured scaling track ring ownership rather than workload skew,
+# which is the property under test. Every 16th event is a full listing
+# page — the gateway's scatter/merge path — so the merge tax is in the
+# measured number, not benched around.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_fleet.json}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+LATENCY=200ms
+CAPACITY=80
+EVENTS=30000
+SCALE=1
+VNODES=2048
+
+run() { # run <shards> <vus> <outfile> [extra flags...]
+  local shards="$1" vus="$2" out="$3"
+  shift 3
+  local topo=()
+  if [ "$shards" -gt 1 ]; then
+    topo=(-shards "$shards" -vnodes "$VNODES")
+  fi
+  go run ./cmd/loadtest "${topo[@]}" \
+    -api v1 -scale "$SCALE" -model zipf -zipf 0 \
+    -mode closed -vus "$vus" -think 0 -events "$EVENTS" -list-every 16 \
+    -server-latency "$LATENCY" -server-capacity "$CAPACITY" \
+    -warmup 500ms "$@" -out "$out" >&2
+}
+
+echo "fleetbench: 1 node (no gateway)" >&2
+run 1 160 "$TMP/n1.json"
+echo "fleetbench: 2 shards" >&2
+run 2 320 "$TMP/n2.json"
+echo "fleetbench: 4 shards" >&2
+run 4 640 "$TMP/n4.json"
+echo "fleetbench: 4 shards + mid-run fleet day-roll" >&2
+run 4 640 "$TMP/roll.json" -day-roll 8s
+
+jq -n \
+  --slurpfile n1 "$TMP/n1.json" \
+  --slurpfile n2 "$TMP/n2.json" \
+  --slurpfile n4 "$TMP/n4.json" \
+  --slurpfile roll "$TMP/roll.json" \
+  --arg gomaxprocs "${GOMAXPROCS:-$(nproc)}" \
+  --arg latency "$LATENCY" --argjson capacity "$CAPACITY" \
+  --argjson events "$EVENTS" --argjson vnodes "$VNODES" '
+  def summarize: {
+    throughput_rps: .closed.throughput_rps,
+    requests: .closed.requests,
+    detail_p50_ms: (.closed.classes[] | select(.class == "detail") | .latency_ms.p50),
+    detail_p99_ms: (.closed.classes[] | select(.class == "detail") | .latency_ms.p99),
+    list_p99_ms: (.closed.classes[] | select(.class == "list") | .latency_ms.p99),
+    per_shard_served: (.fleet.per_shard_served // null),
+    gateway: (.fleet.gateway // null)
+  };
+  {
+    benchmark: "sharded store fleet: list+detail read scaling",
+    gomaxprocs: ($gomaxprocs | tonumber),
+    capacity_model: {
+      per_node_latency: $latency,
+      per_node_capacity: $capacity,
+      per_node_ceiling_rps: 400,
+      note: "each store node admits at most capacity concurrent API requests, each taking latency of service time; node ceiling = capacity/latency independent of host CPU"
+    },
+    workload: {
+      model: "zipf", zipf_exponent: 0, scale: 1, apps: 2200,
+      list_every: 16, mode: "closed", events: $events,
+      vus_per_node: 160, vnodes: $vnodes
+    },
+    runs: {
+      "1": ($n1[0] | summarize),
+      "2": ($n2[0] | summarize),
+      "4": ($n4[0] | summarize)
+    },
+    scaling: {
+      "2": (($n2[0].closed.throughput_rps / $n1[0].closed.throughput_rps * 100 | round) / 100),
+      "4": (($n4[0].closed.throughput_rps / $n1[0].closed.throughput_rps * 100 | round) / 100)
+    },
+    epoch_swap: {
+      throughput_rps: $roll[0].closed.throughput_rps,
+      day_roll: $roll[0].closed.day_roll,
+      gateway_epoch_retries: $roll[0].fleet.gateway.epoch_retries,
+      gateway_epoch_skews: $roll[0].fleet.gateway.epoch_skews,
+      note: "4-shard closed-loop run with a two-phase fleet day-roll fired mid-run; mixed_epoch_responses counts post-roll responses that disagreed on X-Store-Day (must be 0)"
+    }
+  }' > "$OUT"
+
+echo "fleetbench: wrote $OUT" >&2
+jq '{scaling: .scaling, mixed_epoch: .epoch_swap.day_roll.mixed_epoch_responses}' "$OUT" >&2
