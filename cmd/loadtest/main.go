@@ -41,6 +41,7 @@ import (
 	"planetapps/internal/resilient"
 	"planetapps/internal/storeserver"
 	"planetapps/internal/trace"
+	"planetapps/internal/wal"
 )
 
 func main() {
@@ -79,6 +80,8 @@ func main() {
 		shards    = flag.Int("shards", 0, "in-process store fleet: N partitioned shards behind a consistent-hash gateway (0 = single node)")
 		vnodes    = flag.Int("vnodes", 0, "fleet consistent-hash virtual nodes per shard (0 = default; more vnodes = better partition balance)")
 		listEvery = flag.Int("list-every", 0, "issue a catalog listing request for every Nth event (0 = off)")
+
+		writeMix = flag.Float64("write-mix", 0, "fraction of events that also drive the v1 write funnel (POST download/rate/comments; requires -api v1)")
 
 		dayRoll = flag.Duration("day-roll", 0, "day-roll scenario: advance the in-process store one day this long into the measured window and report pre/post-swap latency separately (0 = off)")
 		prewarm = flag.Int("prewarm", 0, "in-process store: pre-encode this many hot documents after each day roll (0 = off)")
@@ -272,6 +275,7 @@ func main() {
 		MaxEvents:   *events,
 		APKEvery:    *apkEvery,
 		ListEvery:   *listEvery,
+		WriteMix:    *writeMix,
 		AcceptGzip:  *gz,
 		Seed:        *seed,
 	}
@@ -329,6 +333,18 @@ func main() {
 		log.Printf("loadtest: %s: %d events, %d requests, %.0f rps, p50 %.2fms p99 %.2fms, %d limited, %d errors",
 			m, rep.Events, rep.Requests, rep.ThroughputRPS,
 			classLatency(rep).P50, classLatency(rep).P99, rep.RateLimited, rep.Errors)
+		if len(rep.Writes) > 0 {
+			var posts, dup, bp, rej, werr int64
+			for _, wr := range rep.Writes {
+				posts += wr.Posts
+				dup += wr.Duplicate
+				bp += wr.Backpressure429
+				rej += wr.Rejected
+				werr += wr.Errors
+			}
+			log.Printf("loadtest: %s: writes: %d posts, %d accepted, %d deduped, %d duplicate, %d backpressure, %d rejected, %d errors",
+				m, posts, rep.WriteAccepted, rep.WriteDeduped, dup, bp, rej, werr)
+		}
 		if rep.GzipResponses > 0 || rep.GzipBytes > 0 {
 			log.Printf("loadtest: %s: wire: %d gzip responses (%d bytes compressed), %d bytes identity",
 				m, rep.GzipResponses, rep.GzipBytes, rep.IdentityBytes)
@@ -381,6 +397,52 @@ func main() {
 		}
 		log.Printf("loadtest: fleet: %d shards served %d requests (gateway: %d proxied, %d merged pages, %d epoch retries, %d epoch skews, %d shard errors)",
 			*shards, served, gst.Proxied, gst.MergedPages, gst.EpochRetries, gst.EpochSkews, gst.ShardErrors)
+	}
+	if *writeMix > 0 && (srv != nil || ip != nil) {
+		// Drain the WAL with two quiescent rolls: the first merges every
+		// write still buffered when the run ended, the second proves the
+		// buffer is empty. After that, accepted == merged is the no-lost-
+		// acknowledged-writes invariant the CI smoke gate checks.
+		roll := func() error {
+			if ip != nil {
+				return ip.AdvanceDay()
+			}
+			return srv.AdvanceDay()
+		}
+		for i := 0; i < 2; i++ {
+			if err := roll(); err != nil {
+				log.Fatalf("loadtest: drain roll: %v", err)
+			}
+		}
+		var servers []*storeserver.Server
+		if ip != nil {
+			servers = ip.Servers
+		} else {
+			servers = []*storeserver.Server{srv}
+		}
+		var agg wal.Stats
+		perShard := make([]wal.Stats, 0, len(servers))
+		for _, s := range servers {
+			st := s.WALStats()
+			perShard = append(perShard, st)
+			agg.Accepted += st.Accepted
+			agg.Merged += st.Merged
+			agg.Deduped += st.Deduped
+			agg.Duplicates += st.Duplicates
+			agg.Backpressure += st.Backpressure
+			agg.Pending += st.Pending
+		}
+		combined["wal"] = map[string]any{
+			"accepted":     agg.Accepted,
+			"merged":       agg.Merged,
+			"deduped":      agg.Deduped,
+			"duplicates":   agg.Duplicates,
+			"backpressure": agg.Backpressure,
+			"pending":      agg.Pending,
+			"per_shard":    perShard,
+		}
+		log.Printf("loadtest: wal: %d accepted, %d merged, %d deduped, %d duplicates, %d backpressure, %d still pending",
+			agg.Accepted, agg.Merged, agg.Deduped, agg.Duplicates, agg.Backpressure, agg.Pending)
 	}
 	if inj != nil {
 		combined["chaos"] = map[string]any{

@@ -27,7 +27,15 @@ type ShardClient struct {
 
 // get issues a GET and returns the response; the caller closes the body.
 func (c *ShardClient) get(ctx context.Context, pathAndQuery string, hdr http.Header) (*http.Response, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+pathAndQuery, nil)
+	return c.do(ctx, http.MethodGet, pathAndQuery, hdr, nil)
+}
+
+// do issues one proxied request with the caller's method and body — the
+// write path's POSTs ride through here with their Idempotency-Key, so a
+// gateway retry story stays the shard's retry story. The caller closes
+// the response body.
+func (c *ShardClient) do(ctx context.Context, method, pathAndQuery string, hdr http.Header, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+pathAndQuery, body)
 	if err != nil {
 		return nil, err
 	}

@@ -139,9 +139,22 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		w.Header().Set("Allow", "GET, HEAD")
-		http.Error(w, "Method Not Allowed", http.StatusMethodNotAllowed)
-		return
+		// The owner shard is authoritative for the single-app v1 routes —
+		// including the POST write endpoints — so those proxy through with
+		// method and body intact and the shard renders any 405 with the
+		// route's true Allow set. Every other combination keeps the
+		// gateway-local 405: the historical plain bytes on legacy, the
+		// error envelope on v1.
+		if !(v1 && kind == gwApp) {
+			w.Header().Set("Allow", "GET, HEAD")
+			if v1 {
+				g.writeError(w, true, &gwError{http.StatusMethodNotAllowed, "method_not_allowed",
+					"method " + r.Method + " is not supported by this resource; allowed: GET, HEAD"})
+			} else {
+				http.Error(w, "Method Not Allowed", http.StatusMethodNotAllowed)
+			}
+			return
+		}
 	}
 	switch kind {
 	case gwStats:
@@ -215,9 +228,11 @@ func (g *Gateway) writeError(w http.ResponseWriter, v1 bool, e *gwError) {
 // --- single-app proxy ------------------------------------------------------
 
 // proxyHopHeaders are the request headers forwarded to the owner shard:
-// the validators and negotiation the store honours, plus the client
-// identity chain the shard's rate limiter buckets by.
-var proxyHopHeaders = []string{"If-None-Match", "Accept-Encoding", "User-Agent"}
+// the validators and negotiation the store honours, the client identity
+// chain the shard's rate limiter buckets by, and the write path's
+// idempotency and body-type markers (absent on reads, so forwarding the
+// list costs reads nothing).
+var proxyHopHeaders = []string{"If-None-Match", "Accept-Encoding", "User-Agent", "Idempotency-Key", "Content-Type"}
 
 // serveApp forwards a single-app route to the shard owning the app ID.
 // The response — status, headers, body, byte for byte — is the shard's:
@@ -250,7 +265,11 @@ func (g *Gateway) serveApp(w http.ResponseWriter, r *http.Request, v1 bool, rest
 	if r.URL.RawQuery != "" {
 		pathAndQuery += "?" + r.URL.RawQuery
 	}
-	resp, err := shard.get(r.Context(), pathAndQuery, hdr)
+	var body io.Reader
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		body = r.Body
+	}
+	resp, err := shard.do(r.Context(), r.Method, pathAndQuery, hdr, body)
 	if err != nil {
 		g.shardErrors.Inc()
 		g.writeError(w, v1, &gwError{http.StatusBadGateway, "shard_unreachable",

@@ -21,12 +21,14 @@ package loadgen
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -121,6 +123,16 @@ type Config struct {
 	// is also the expensive class — the gateway must scatter to every
 	// shard and merge, where a single node serves a pre-rendered page.
 	ListEvery int
+	// WriteMix is the fraction of workload events that also drive the v1
+	// write funnel (0..1): each selected event POSTs a download for its
+	// (user, app), and a deterministic slice of those add a rating and a
+	// comment. Selection hashes (user, app) with Seed, so the same
+	// workload and seed issue the same writes regardless of mode or
+	// concurrency, and each write carries an Idempotency-Key derived from
+	// the same tuple, so retries and re-runs dedup instead of
+	// double-counting. Requires APIPrefix "/api/v1" — the legacy surface
+	// is read-only.
+	WriteMix float64
 	// AcceptGzip negotiates compressed transfer: every request carries an
 	// explicit Accept-Encoding — "gzip" when set, "identity" when not —
 	// so the wire representation is deterministic and visible (the Go
@@ -148,6 +160,34 @@ const (
 	ClassList   = "list"
 	ClassAPK    = "apk"
 )
+
+// Write endpoints reported separately when WriteMix > 0. The names match
+// the store's store_writes_total endpoint label, so client- and
+// server-side write accounting line up term for term.
+const (
+	WriteDownload = "download"
+	WriteRate     = "rate"
+	WriteComment  = "comment"
+)
+
+// writeEndpoints is the canonical report order.
+var writeEndpoints = []string{WriteDownload, WriteRate, WriteComment}
+
+// writeStats accumulates one write endpoint's outcomes, keyed by the
+// store's ack vocabulary: accepted (logged fresh), deduped (idempotency
+// replay), duplicate (natural key taken, 409), backpressure (WAL full,
+// 429), rejected (any other non-2xx verdict), errors (transport).
+type writeStats struct {
+	posts        metrics.Counter
+	accepted     metrics.Counter
+	deduped      metrics.Counter
+	duplicate    metrics.Counter
+	backpressure metrics.Counter
+	rejected     metrics.Counter
+	errors       metrics.Counter
+	warmup       metrics.Counter
+	latency      *metrics.Histogram
+}
 
 // classStats accumulates one request class. preRoll/postRoll split the
 // measured window at the day-roll instant (populated only when a roll is
@@ -192,6 +232,7 @@ type Generator struct {
 	events    int64
 	dropped   metrics.Counter
 	classes   map[string]*classStats
+	writes    map[string]*writeStats
 	startedAt time.Time
 	measureAt time.Time
 
@@ -244,6 +285,12 @@ func New(cfg Config) (*Generator, error) {
 	if cfg.APIPrefix == "" {
 		cfg.APIPrefix = "/api"
 	}
+	if cfg.WriteMix < 0 || cfg.WriteMix > 1 {
+		return nil, fmt.Errorf("loadgen: WriteMix %g out of [0, 1]", cfg.WriteMix)
+	}
+	if cfg.WriteMix > 0 && cfg.APIPrefix != "/api/v1" {
+		return nil, errors.New("loadgen: WriteMix needs the v1 surface (APIPrefix /api/v1); legacy is read-only")
+	}
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = 4096
 	}
@@ -264,6 +311,11 @@ func New(cfg Config) (*Generator, error) {
 			ClassDetail: newClassStats(),
 			ClassList:   newClassStats(),
 			ClassAPK:    newClassStats(),
+		},
+		writes: map[string]*writeStats{
+			WriteDownload: {latency: metrics.NewHistogram()},
+			WriteRate:     {latency: metrics.NewHistogram()},
+			WriteComment:  {latency: metrics.NewHistogram()},
 		},
 	}
 	g.postRollDay.Store(-1)
@@ -378,9 +430,101 @@ func (g *Generator) issue(ctx context.Context, class string, ev model.Event) {
 	}
 }
 
+// writeHash mixes (seed, user, app) into the 64 bits every write-mix
+// decision derives from — a splitmix64 finalizer, so nearby ids decohere.
+func writeHash(seed uint64, user, app int32) uint64 {
+	x := seed ^ uint64(uint32(user))<<32 ^ uint64(uint32(app))
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// issueWrite POSTs one v1 mutation and classifies the store's verdict.
+func (g *Generator) issueWrite(ctx context.Context, endpoint string, ev model.Event, h uint64) {
+	ws := g.writes[endpoint]
+	user := strconv.Itoa(int(ev.User))
+	var tail, body string
+	switch endpoint {
+	case WriteDownload:
+		tail, body = "/download", `{"user":`+user+`}`
+	case WriteRate:
+		tail = "/rate"
+		body = `{"user":` + user + `,"rating":` + strconv.Itoa(int(h>>8)%5+1) + `}`
+	case WriteComment:
+		tail = "/comments"
+		body = `{"user":` + user + `,"rating":` + strconv.Itoa(int(h>>16)%5+1) + `}`
+	}
+	url := g.cfg.BaseURL + g.cfg.APIPrefix + "/apps/" + strconv.Itoa(int(ev.App)) + tail
+	rctx, cancel := context.WithTimeout(ctx, g.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		ws.errors.Inc()
+		return
+	}
+	req.Header.Set("X-Forwarded-For", clientAddr(ev.User))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Idempotency-Key", "lg-u"+user+"-a"+strconv.Itoa(int(ev.App))+"-"+endpoint)
+	start := time.Now()
+	record := !start.Before(g.measureAt)
+	if !record {
+		ws.warmup.Inc()
+	} else {
+		ws.posts.Inc()
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		if record {
+			ws.errors.Inc()
+		}
+		return
+	}
+	ackBody, _ := io.ReadAll(io.LimitReader(resp.Body, 4096)) //nolint:errcheck
+	io.Copy(io.Discard, resp.Body)                            //nolint:errcheck
+	resp.Body.Close()
+	if !record {
+		return
+	}
+	ws.latency.Observe(int64(time.Since(start)))
+	// Write acks carry the serving epoch too: once the day-roll completes,
+	// a post-roll ack disagreeing on X-Store-Day is the same coherence
+	// violation the read path counts.
+	if g.cfg.DayRollAfter > 0 && resp.StatusCode == http.StatusOK {
+		if mark := g.rollMark.Load(); mark > 0 && start.UnixNano() >= mark {
+			if day, err := strconv.Atoi(resp.Header.Get("X-Store-Day")); err == nil {
+				if !g.postRollDay.CompareAndSwap(-1, int64(day)) && g.postRollDay.Load() != int64(day) {
+					g.mixedEpoch.Inc()
+				}
+			}
+		}
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var ack struct {
+			Deduped bool `json:"deduped"`
+		}
+		if json.Unmarshal(ackBody, &ack) == nil && ack.Deduped {
+			ws.deduped.Inc()
+		} else {
+			ws.accepted.Inc()
+		}
+	case http.StatusConflict:
+		ws.duplicate.Inc()
+	case http.StatusTooManyRequests:
+		ws.backpressure.Inc()
+	default:
+		ws.rejected.Inc()
+	}
+}
+
 // issueEvent replays one workload event: a metadata detail request, plus
-// a listing page for every ListEvery-th event and an APK download for
-// every APKEvery-th event.
+// a listing page for every ListEvery-th event, an APK download for every
+// APKEvery-th event, and — when WriteMix selects the event's (user, app)
+// — the write funnel: always a download, every 4th writer also rates,
+// every 8th also comments.
 func (g *Generator) issueEvent(ctx context.Context, ev model.Event, n int64) {
 	g.issue(ctx, ClassDetail, ev)
 	if g.cfg.ListEvery > 0 && n%int64(g.cfg.ListEvery) == 0 {
@@ -388,6 +532,18 @@ func (g *Generator) issueEvent(ctx context.Context, ev model.Event, n int64) {
 	}
 	if g.cfg.APKEvery > 0 && n%int64(g.cfg.APKEvery) == 0 {
 		g.issue(ctx, ClassAPK, ev)
+	}
+	if g.cfg.WriteMix > 0 {
+		h := writeHash(g.cfg.Seed, ev.User, ev.App)
+		if float64(h>>40)/float64(1<<24) < g.cfg.WriteMix {
+			g.issueWrite(ctx, WriteDownload, ev, h)
+			if h&0x3 == 0 {
+				g.issueWrite(ctx, WriteRate, ev, h)
+			}
+			if h&0x7 == 0 {
+				g.issueWrite(ctx, WriteComment, ev, h)
+			}
+		}
 	}
 }
 

@@ -59,6 +59,23 @@ type ClassReport struct {
 	IdentityBytes int64 `json:"identity_bytes"`
 }
 
+// WriteReport aggregates one write endpoint over the measured window.
+// The outcome vocabulary mirrors the store's ack semantics: Accepted
+// writes were logged fresh, Deduped ones replayed an Idempotency-Key,
+// Duplicate ones lost the natural-key race (409), Backpressure429 ones
+// hit a full WAL, Rejected covers every other non-2xx verdict.
+type WriteReport struct {
+	Endpoint        string         `json:"endpoint"`
+	Posts           int64          `json:"posts"`
+	Accepted        int64          `json:"accepted"`
+	Deduped         int64          `json:"deduped"`
+	Duplicate       int64          `json:"duplicate"`
+	Backpressure429 int64          `json:"backpressure_429"`
+	Rejected        int64          `json:"rejected"`
+	Errors          int64          `json:"errors"`
+	LatencyMS       LatencySummary `json:"latency_ms"`
+}
+
 // DayRollReport records the mid-run AdvanceDay a day-roll scenario fired.
 type DayRollReport struct {
 	// Rolled is false when the run ended before the roll was due.
@@ -95,24 +112,32 @@ type GCReport struct {
 // Report is the JSON-serializable outcome of one Run. Counts cover the
 // measured window; WarmupRequests tallies what the warmup excluded.
 type Report struct {
-	Mode           string         `json:"mode"`
-	Events         int64          `json:"events"`
-	Requests       int64          `json:"requests"`
-	WarmupRequests int64          `json:"warmup_requests"`
-	OK             int64          `json:"ok"`
-	RateLimited    int64          `json:"rate_limited"`
-	Errors         int64          `json:"errors"`
-	OtherStatus    int64          `json:"other_status"`
-	Dropped        int64          `json:"dropped"`
-	GzipResponses  int64          `json:"gzip_responses"`
-	GzipBytes      int64          `json:"gzip_bytes"`
-	IdentityBytes  int64          `json:"identity_bytes"`
-	DurationSec    float64        `json:"duration_sec"`
-	MeasuredSec    float64        `json:"measured_sec"`
-	ThroughputRPS  float64        `json:"throughput_rps"`
-	Classes        []ClassReport  `json:"classes"`
-	DayRoll        *DayRollReport `json:"day_roll,omitempty"`
-	GC             *GCReport      `json:"gc,omitempty"`
+	Mode           string        `json:"mode"`
+	Events         int64         `json:"events"`
+	Requests       int64         `json:"requests"`
+	WarmupRequests int64         `json:"warmup_requests"`
+	OK             int64         `json:"ok"`
+	RateLimited    int64         `json:"rate_limited"`
+	Errors         int64         `json:"errors"`
+	OtherStatus    int64         `json:"other_status"`
+	Dropped        int64         `json:"dropped"`
+	GzipResponses  int64         `json:"gzip_responses"`
+	GzipBytes      int64         `json:"gzip_bytes"`
+	IdentityBytes  int64         `json:"identity_bytes"`
+	DurationSec    float64       `json:"duration_sec"`
+	MeasuredSec    float64       `json:"measured_sec"`
+	ThroughputRPS  float64       `json:"throughput_rps"`
+	Classes        []ClassReport `json:"classes"`
+	// Writes appears when the run drove a write mix. Write requests are
+	// accounted here, not in Requests/ThroughputRPS, so read-path
+	// baselines stay comparable across write-mix settings; WriteAccepted
+	// and WriteDeduped total the per-endpoint rows (the cross-check
+	// against the store's WAL counters).
+	Writes        []WriteReport  `json:"writes,omitempty"`
+	WriteAccepted int64          `json:"write_accepted,omitempty"`
+	WriteDeduped  int64          `json:"write_deduped,omitempty"`
+	DayRoll       *DayRollReport `json:"day_roll,omitempty"`
+	GC            *GCReport      `json:"gc,omitempty"`
 }
 
 func (g *Generator) report(elapsed time.Duration) *Report {
@@ -167,6 +192,26 @@ func (g *Generator) report(elapsed time.Duration) *Report {
 	}
 	if rep.MeasuredSec > 0 {
 		rep.ThroughputRPS = float64(rep.Requests) / rep.MeasuredSec
+	}
+	if g.cfg.WriteMix > 0 {
+		for _, ep := range writeEndpoints {
+			ws := g.writes[ep]
+			wr := WriteReport{
+				Endpoint:        ep,
+				Posts:           ws.posts.Value(),
+				Accepted:        ws.accepted.Value(),
+				Deduped:         ws.deduped.Value(),
+				Duplicate:       ws.duplicate.Value(),
+				Backpressure429: ws.backpressure.Value(),
+				Rejected:        ws.rejected.Value(),
+				Errors:          ws.errors.Value(),
+				LatencyMS:       summarize(ws.latency.Snapshot()),
+			}
+			rep.WriteAccepted += wr.Accepted
+			rep.WriteDeduped += wr.Deduped
+			rep.WarmupRequests += ws.warmup.Value()
+			rep.Writes = append(rep.Writes, wr)
+		}
 	}
 	if g.cfg.DayRollAfter > 0 {
 		dr := &DayRollReport{PostRollDay: g.postRollDay.Load()}

@@ -453,6 +453,37 @@ func (m *Market) Series() *snapshot.Series { return m.series }
 // slice; callers must not modify).
 func (m *Market) Downloads() []int64 { return m.downloads }
 
+// ApplyDownloadDelta merges externally ingested download counts (the
+// store's WAL day-delta) into the market's cumulative state: per-app
+// counts, the running total, and the dirty tracking that drives export
+// chunk sharing and content-version ETags. Unknown app IDs (a client
+// writing against a stale catalog view) are skipped and reported.
+//
+// Downloads are observation-only for the simulation — they are never
+// sampling inputs — so merging a delta perturbs no RNG stream: the
+// simulated trajectory with writes is the simulated trajectory without
+// them, plus exactly the ingested counts. Callers pass apps in a
+// deterministic order for reproducible builds; the merged state itself is
+// order-independent (commutative adds).
+func (m *Market) ApplyDownloadDelta(apps []int32, count func(int32) int64) (applied, skipped int) {
+	for _, id := range apps {
+		i := int(id)
+		if i < 0 || i >= len(m.downloads) {
+			skipped++
+			continue
+		}
+		n := count(id)
+		if n <= 0 {
+			continue
+		}
+		m.downloads[i] += n
+		m.total += n
+		m.markDL(i)
+		applied++
+	}
+	return applied, skipped
+}
+
 // Run advances the market to the configured number of days and returns the
 // snapshot series.
 func (m *Market) Run() (*snapshot.Series, error) {

@@ -1,7 +1,8 @@
 // Package resilient is the client-side answer to internal/faultinject:
-// an HTTP GET client hardened against the hostility the paper's crawlers
-// met in the wild. One Client bundles the defenses a months-long crawl
-// needs to converge through flaky endpoints, rate limits, and dying
+// an HTTP client hardened against the hostility the paper's crawlers met
+// in the wild — GETs for the crawl, idempotency-keyed POSTs for the
+// session engine's writes. One Client bundles the defenses a months-long
+// crawl needs to converge through flaky endpoints, rate limits, and dying
 // proxies:
 //
 //   - full-jitter exponential backoff that honors the server's
@@ -282,6 +283,20 @@ const (
 // response (when one exists) is returned alongside the error so callers
 // can inspect the final status.
 func (c *Client) Get(ctx context.Context, url string, hdr http.Header, validate Validator) (*Result, error) {
+	return c.do(ctx, http.MethodGet, url, hdr, nil, validate)
+}
+
+// Post sends body to url through the same resilience stack as Get. The
+// body is held as bytes so retries and hedges replay it verbatim. Callers
+// MUST make the request idempotent on the server side — the store's write
+// endpoints take an Idempotency-Key header in hdr — because the stack
+// will happily re-send it after an ambiguous transport failure.
+func (c *Client) Post(ctx context.Context, url string, hdr http.Header, body []byte, validate Validator) (*Result, error) {
+	return c.do(ctx, http.MethodPost, url, hdr, body, validate)
+}
+
+// do is the shared retry loop behind Get and Post.
+func (c *Client) do(ctx context.Context, method, url string, hdr http.Header, body []byte, validate Validator) (*Result, error) {
 	start := c.clock.Now()
 	defer func() { c.latency.Observe(int64(c.clock.Now().Sub(start))) }()
 
@@ -312,7 +327,7 @@ func (c *Client) Get(ctx context.Context, url string, hdr http.Header, validate 
 				return nil, err
 			}
 		}
-		res, class, err := c.attempt(ctx, host, url, hdr, validate)
+		res, class, err := c.attempt(ctx, host, method, url, hdr, body, validate)
 		switch class {
 		case classOK:
 			return res, nil
@@ -374,7 +389,7 @@ func hostKey(url string) string {
 
 // attempt runs one admission-gated, breaker-guarded, possibly hedged
 // exchange and classifies the outcome.
-func (c *Client) attempt(ctx context.Context, host, url string, hdr http.Header, validate Validator) (*Result, attemptClass, error) {
+func (c *Client) attempt(ctx context.Context, host, method, url string, hdr http.Header, body []byte, validate Validator) (*Result, attemptClass, error) {
 	if c.adm != nil {
 		if err := c.adm.acquire(ctx); err != nil {
 			return nil, classAbort, err
@@ -405,7 +420,7 @@ func (c *Client) attempt(ctx context.Context, host, url string, hdr http.Header,
 		}
 	}
 
-	ex := c.exchange(ctx, url, hdr)
+	ex := c.exchange(ctx, method, url, hdr, body)
 	if ex.err != nil {
 		if ctx.Err() != nil {
 			tk.Cancel()
@@ -482,16 +497,16 @@ type exchangeResult struct {
 // launched and the first success wins (losers are canceled). Transport
 // errors hold out for a slower sibling; only when every copy has failed
 // does the attempt fail.
-func (c *Client) exchange(ctx context.Context, url string, hdr http.Header) exchangeResult {
+func (c *Client) exchange(ctx context.Context, method, url string, hdr http.Header, body []byte) exchangeResult {
 	if c.cfg.HedgeAfter <= 0 {
-		return c.roundTrip(ctx, url, hdr, false)
+		return c.roundTrip(ctx, method, url, hdr, body, false)
 	}
 	exCtx, cancelAll := context.WithCancel(ctx)
 	defer cancelAll()
 	results := make(chan exchangeResult, 1+c.cfg.MaxHedges)
 	launch := func(hedge bool) {
 		go func() {
-			r := c.roundTrip(exCtx, url, hdr, hedge)
+			r := c.roundTrip(exCtx, method, url, hdr, body, hedge)
 			results <- r
 		}()
 	}
@@ -542,7 +557,7 @@ func (c *Client) exchange(ctx context.Context, url string, hdr http.Header) exch
 // roundTrip performs one wire exchange, reading the body fully so the
 // response is self-contained (hedging and validation both need replayable
 // bytes).
-func (c *Client) roundTrip(ctx context.Context, url string, hdr http.Header, hedge bool) exchangeResult {
+func (c *Client) roundTrip(ctx context.Context, method, url string, hdr http.Header, body []byte, hedge bool) exchangeResult {
 	if c.cfg.PreAttempt != nil {
 		if err := c.cfg.PreAttempt(ctx); err != nil {
 			return exchangeResult{err: err, hedge: hedge}
@@ -554,7 +569,13 @@ func (c *Client) roundTrip(ctx context.Context, url string, hdr http.Header, hed
 	if c.cfg.ProxyHealth != nil {
 		actx, pc = withChoice(actx)
 	}
-	req, err := http.NewRequestWithContext(actx, http.MethodGet, url, nil)
+	var rd io.Reader
+	if body != nil {
+		// A fresh reader per physical attempt: hedges and retries replay
+		// the same bytes from the start.
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, url, rd)
 	if err != nil {
 		return exchangeResult{err: err, hedge: hedge}
 	}
@@ -597,17 +618,33 @@ func (c *Client) roundTrip(ctx context.Context, url string, hdr http.Header, hed
 }
 
 // Transport adapts the client to http.RoundTripper for consumers that
-// speak plain net/http (the load generator). GETs run the full resilience
-// stack; anything else passes straight to the base transport. When the
-// stack ends with a definitive HTTP answer (permanent 4xx, or a final
-// 429/5xx after exhausted retries) the answer is surfaced as a normal
-// response, so the caller's status accounting keeps working.
+// speak plain net/http (the load generator). GETs — and POSTs carrying an
+// Idempotency-Key, which the store's write endpoints dedup, making them
+// retry-safe — run the full resilience stack; anything else passes
+// straight to the base transport. When the stack ends with a definitive
+// HTTP answer (permanent 4xx, or a final 429/5xx after exhausted retries)
+// the answer is surfaced as a normal response, so the caller's status
+// accounting keeps working.
 func (c *Client) Transport() http.RoundTripper {
 	return roundTripFunc(func(req *http.Request) (*http.Response, error) {
-		if req.Method != http.MethodGet {
+		var res *Result
+		var err error
+		switch {
+		case req.Method == http.MethodGet:
+			res, err = c.Get(req.Context(), req.URL.String(), req.Header, nil)
+		case req.Method == http.MethodPost && req.Header.Get("Idempotency-Key") != "":
+			var body []byte
+			if req.Body != nil {
+				body, err = io.ReadAll(req.Body)
+				req.Body.Close() //nolint:errcheck
+				if err != nil {
+					return nil, err
+				}
+			}
+			res, err = c.Post(req.Context(), req.URL.String(), req.Header, body, nil)
+		default:
 			return c.cfg.Transport.RoundTrip(req)
 		}
-		res, err := c.Get(req.Context(), req.URL.String(), req.Header, nil)
 		if res == nil {
 			return nil, err
 		}

@@ -42,8 +42,8 @@ func (s *Server) initMetrics() {
 	s.movedDocs = s.reg.Counter("store_arena_moved_docs_total")
 	s.compactions = s.reg.Counter("store_arena_compactions_total")
 	s.routes = map[string]*routeInstruments{}
-	// Index order must match the router's route kinds (rStats..rAPK).
-	for kind, route := range []string{"stats", "list", "detail", "comments", "apk"} {
+	// Index order must match the router's route kinds (rStats..rRate).
+	for kind, route := range []string{"stats", "list", "detail", "comments", "apk", "download", "rate"} {
 		ri := &routeInstruments{
 			route:   route,
 			total:   s.reg.Counter(fmt.Sprintf("store_route_requests_total{route=%q}", route)),
@@ -56,7 +56,19 @@ func (s *Server) initMetrics() {
 		s.routes[route] = ri
 		s.routeByKind[kind] = ri
 	}
+	// Write-outcome counters for the POST-capable kinds, pre-registered so
+	// the write path never takes the registry's write lock.
+	for kind, endpoint := range map[int]string{rDownload: "download", rRate: "rate", rComments: "comment"} {
+		m := make(map[string]*metrics.Counter, len(writeResults))
+		for _, res := range writeResults {
+			m[res] = s.reg.Counter(fmt.Sprintf("store_writes_total{endpoint=%q,result=%q}", endpoint, res))
+		}
+		s.writeRes[kind] = m
+	}
 }
+
+// writeResults are the outcome labels of store_writes_total.
+var writeResults = []string{"accepted", "deduped", "duplicate", "invalid", "backpressure"}
 
 func (s *Server) codeCounter(route string, code int) *metrics.Counter {
 	return s.reg.Counter(fmt.Sprintf("store_responses_total{route=%q,code=\"%d\"}", route, code))

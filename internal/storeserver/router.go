@@ -21,21 +21,46 @@ import (
 // pre-rendered header values elsewhere, a warm cache hit performs no
 // allocations at all (pinned by allocbudget_test.go).
 
-// Route kinds, in the order of the routeByKind instrument table.
+// Route kinds, in the order of the routeByKind instrument table. The
+// write-only kinds (rDownload, rRate) exist on the v1 surface only.
 const (
 	rStats = iota
 	rList
 	rDetail
 	rComments
 	rAPK
+	rDownload
+	rRate
 	rNone
 )
+
+// writableKind reports the kinds that accept POST on the v1 surface.
+func writableKind(kind int) bool {
+	return kind == rDownload || kind == rRate || kind == rComments
+}
+
+// allowedMethods renders the Allow header for a known route. The legacy
+// surface is read-only everywhere; v1 adds POST where a write resource
+// exists.
+func allowedMethods(kind int, v1 bool) string {
+	if !v1 {
+		return "GET, HEAD"
+	}
+	switch kind {
+	case rDownload, rRate:
+		return "POST"
+	case rComments:
+		return "GET, HEAD, POST"
+	default:
+		return "GET, HEAD"
+	}
+}
 
 // parseAPIPath matches one of the fixed API paths:
 //
 //	/api[/v1]/stats
 //	/api[/v1]/apps
-//	/api[/v1]/apps/{id}[/comments|/apk]
+//	/api[/v1]/apps/{id}[/comments|/apk|/download|/rate]
 //
 // kind is rNone for anything else. For the {id} routes, id/idOK report the
 // parsed non-negative int32 (idOK false = the segment was present but not
@@ -73,6 +98,10 @@ func parseAPIPath(p string) (kind int, v1 bool, id int32, idOK bool) {
 		kind = rComments
 	case "/apk":
 		kind = rAPK
+	case "/download":
+		kind = rDownload
+	case "/rate":
+		kind = rRate
 	default:
 		return rNone, v1, 0, false
 	}
@@ -203,17 +232,33 @@ func etagMatch(inm, etag string) bool {
 var swPool = sync.Pool{New: func() any { return new(statusWriter) }}
 
 // route is the API dispatcher: parse, instrument, dispatch. Unknown paths
-// 404 and wrong methods 405 exactly as the old ServeMux tree did;
-// instruments count only matched routes, as before.
+// 404; wrong methods 405 with an Allow header — rendered as the plain
+// historical bytes on the legacy surface and as the error envelope on v1.
+// Instruments count only matched routes, as before.
 func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 	kind, v1, id, idOK := parseAPIPath(r.URL.Path)
 	if kind == rNone {
 		http.NotFound(w, r)
 		return
 	}
-	if r.Method != http.MethodGet && r.Method != http.MethodHead {
-		w.Header().Set("Allow", "GET, HEAD")
-		http.Error(w, "Method Not Allowed", http.StatusMethodNotAllowed)
+	// The write-only resources exist on the v1 surface only; the legacy
+	// surface never had them and stays byte-frozen (404, as always).
+	if !v1 && (kind == rDownload || kind == rRate) {
+		http.NotFound(w, r)
+		return
+	}
+	isWrite := v1 && r.Method == http.MethodPost && writableKind(kind)
+	isRead := (r.Method == http.MethodGet || r.Method == http.MethodHead) &&
+		kind != rDownload && kind != rRate
+	if !isWrite && !isRead {
+		allow := allowedMethods(kind, v1)
+		w.Header().Set("Allow", allow)
+		if v1 {
+			writeV1Error(w, http.StatusMethodNotAllowed, "method_not_allowed",
+				"method "+r.Method+" is not supported by this resource; allowed: "+allow, 0)
+		} else {
+			http.Error(w, "Method Not Allowed", http.StatusMethodNotAllowed)
+		}
 		return
 	}
 	ri := s.routeByKind[kind]
@@ -223,7 +268,7 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 	s.inFlight.Inc()
 	sw := swPool.Get().(*statusWriter)
 	sw.ResponseWriter, sw.code = w, http.StatusOK
-	s.dispatch(sw, r, kind, v1, id, idOK)
+	s.dispatch(sw, r, kind, v1, id, idOK, isWrite)
 	s.inFlight.Dec()
 	ri.latency.ObserveSince(start)
 	c, ok := ri.byCode[sw.code]
@@ -238,8 +283,12 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 // dispatch hands the matched route to its handler. The snapshot is loaded
 // exactly once here and threaded through, so one response can never mix
 // two days.
-func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind int, v1 bool, id int32, idOK bool) {
+func (s *Server) dispatch(w http.ResponseWriter, r *http.Request, kind int, v1 bool, id int32, idOK bool, isWrite bool) {
 	sn := s.snap.Load()
+	if isWrite {
+		s.handleWrite(w, r, sn, kind, id, idOK)
+		return
+	}
 	switch kind {
 	case rStats:
 		if v1 {

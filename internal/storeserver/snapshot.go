@@ -68,6 +68,15 @@ type snapshot struct {
 	comments    map[catalog.AppID][]CommentJSON
 	commentsGen int64
 
+	// comVer maps app -> the number of write-merges its comment stream has
+	// absorbed (absent = never written); it joins the comment ETag so a
+	// written app revalidates while the untouched population keeps its
+	// tags. comWriteGen counts merges overall: equal generations between
+	// successive snapshots mean no comment stream changed and the whole
+	// document population carries forward.
+	comVer      map[catalog.AppID]uint32
+	comWriteGen int64
+
 	arenas   []*arena.Arena
 	fresh    *arena.Arena
 	freshIdx uint32
@@ -102,7 +111,7 @@ var compactMinBytes int64 = 4 << 20
 // for the first snapshot). Fresh documents are not encoded here — that
 // would put O(catalog) JSON work on the AdvanceDay path; each is built on
 // first request (see respCache), optionally front-run by Server.prewarm.
-func newSnapshot(e *marketsim.Export, prev *snapshot, comments map[catalog.AppID][]CommentJSON, gen int64, pageSize int, pool *arena.Pool) *snapshot {
+func newSnapshot(e *marketsim.Export, prev *snapshot, comments map[catalog.AppID][]CommentJSON, gen int64, comVer map[catalog.AppID]uint32, wgen int64, pageSize int, pool *arena.Pool) *snapshot {
 	n := e.NumApps()
 	pages := (n + pageSize - 1) / pageSize
 	if pages == 0 {
@@ -121,6 +130,8 @@ func newSnapshot(e *marketsim.Export, prev *snapshot, comments map[catalog.AppID
 		pages:       pages,
 		comments:    comments,
 		commentsGen: gen,
+		comVer:      comVer,
+		comWriteGen: wgen,
 	}
 	// The stats document embeds the day and the running download total, so
 	// it changes every day-roll and is always fresh.
@@ -180,16 +191,37 @@ func newSnapshot(e *marketsim.Export, prev *snapshot, comments map[catalog.AppID
 	sn.carried += int64(carried)
 	sn.reencoded += int64(n - carried)
 
-	// Comment documents depend only on the comment set: same generation,
-	// same bytes — the whole population carries over (every full block is
-	// shared outright; only the tail block, where arrivals land, is
-	// carried entry by entry).
-	if prev.commentsGen == gen {
+	// Comment documents depend on the attached comment set plus any
+	// write-merged streams. Same generation on both counts: the whole
+	// population carries over (every full block is shared outright; only
+	// the tail block, where arrivals land, is carried entry by entry).
+	// Write merges alone: rows whose per-app write version is unchanged —
+	// the overwhelming majority, writes being Zipf-concentrated — carry
+	// individually; only written apps re-encode.
+	switch {
+	case prev.commentsGen == gen && prev.comWriteGen == wgen:
 		sn.comDocs, carried = cc.cache(n, &prev.comDocs,
 			func(int) bool { return true }, func(int) uint64 { return keepAll })
 		sn.carried += int64(carried)
 		sn.reencoded += int64(n - carried)
-	} else {
+	case prev.commentsGen == gen:
+		sn.comDocs, carried = cc.cache(n, &prev.comDocs, nil, func(c int) uint64 {
+			var mask uint64
+			for j := 0; j < docChunk; j++ {
+				i := c*docChunk + j
+				if i >= n {
+					break
+				}
+				id := catalog.AppID(e.ID(i))
+				if comVer[id] == prev.comVer[id] {
+					mask |= 1 << uint(j)
+				}
+			}
+			return mask
+		})
+		sn.carried += int64(carried)
+		sn.reencoded += int64(n - carried)
+	default:
 		sn.comDocs = newRespCache(n)
 		sn.reencoded += int64(n)
 		cc.dropAll(&prev.comDocs)
@@ -402,6 +434,9 @@ func (sn *snapshot) detailDoc(i int) docView {
 
 // commentsDoc returns row i's comment stream document, keyed and ETagged
 // by the app's global ID (identical to the row index on dense exports).
+// Apps that absorbed client writes grow a "-w<ver>" ETag suffix so their
+// documents revalidate; never-written apps keep the exact tags they have
+// always minted.
 func (sn *snapshot) commentsDoc(i int) docView {
 	return sn.comDocs.get(sn, i, func(buf *bytes.Buffer) string {
 		id := sn.ex.ID(i)
@@ -410,6 +445,10 @@ func (sn *snapshot) commentsDoc(i int) docView {
 			cs = []CommentJSON{}
 		}
 		encodeJSON(buf, cs)
-		return `"c` + strconv.FormatInt(sn.commentsGen, 10) + `-` + strconv.FormatInt(int64(id), 10) + `"`
+		etag := `"c` + strconv.FormatInt(sn.commentsGen, 10) + `-` + strconv.FormatInt(int64(id), 10)
+		if v := sn.comVer[catalog.AppID(id)]; v > 0 {
+			etag += `-w` + strconv.FormatUint(uint64(v), 10)
+		}
+		return etag + `"`
 	})
 }

@@ -34,6 +34,7 @@ import (
 	"planetapps/internal/gzipx"
 	"planetapps/internal/marketsim"
 	"planetapps/internal/metrics"
+	"planetapps/internal/wal"
 )
 
 // AppJSON is the wire representation of one app listing.
@@ -125,6 +126,10 @@ type Config struct {
 	// max throughput Capacity/Latency — which is what the fleet scaling
 	// benchmark measures against on a host with fewer cores than shards.
 	Capacity int
+	// Writes sizes the write-ahead ingest buffer behind the /api/v1 POST
+	// endpoints (see internal/wal). Nil uses wal's defaults; the write
+	// path is always on — it costs nothing until the first POST arrives.
+	Writes *wal.Config
 }
 
 // DefaultConfig returns a config suitable for in-process crawling tests.
@@ -142,6 +147,16 @@ type Server struct {
 	market      *marketsim.Market
 	comments    map[catalog.AppID][]CommentJSON
 	commentsGen int64
+
+	// wlog buffers client mutations between day-rolls; absorbWrites folds
+	// its rotated delta into the market and comment state under mu. comVer
+	// counts write-merges per app (copy-on-write, shared with snapshots)
+	// so comment ETags advance only for apps that actually received
+	// writes; comWriteGen counts merges overall, the cheap "anything
+	// changed?" check the snapshot carry uses.
+	wlog        *wal.Log
+	comVer      map[catalog.AppID]uint32
+	comWriteGen int64
 
 	// snap is the serving snapshot, swapped wholesale by publish. A
 	// handler loads it exactly once and serves the whole request from that
@@ -171,6 +186,11 @@ type Server struct {
 	// routeByKind indexes the same instruments by the router's route kind
 	// so dispatch never hashes a route-name string on the request path.
 	routeByKind [rNone]*routeInstruments
+
+	// writeRes holds the store_writes_total{endpoint,result} counters for
+	// the POST-capable route kinds, pre-registered so the write path never
+	// takes the registry lock.
+	writeRes [rNone]map[string]*metrics.Counter
 
 	// ccValue is the pre-rendered Cache-Control header value for v1
 	// responses ("max-age=N"), fixed by config at construction.
@@ -212,6 +232,11 @@ func New(m *marketsim.Market, cfg Config) *Server {
 	}
 	s.ccValue = "max-age=" + strconv.FormatInt(maxAge, 10)
 	s.initMetrics()
+	var wcfg wal.Config
+	if cfg.Writes != nil {
+		wcfg = *cfg.Writes
+	}
+	s.wlog = wal.New(wcfg, s.reg)
 	s.publish()
 	if cfg.RatePerSec > 0 {
 		s.lim = newLimiter(cfg.RatePerSec, cfg.Burst, cfg.IdleTTL)
@@ -246,7 +271,7 @@ func (s *Server) publish() {
 func (s *Server) build() *snapshot {
 	start := time.Now()
 	prev := s.snap.Load()
-	sn := newSnapshot(s.export(), prev, s.comments, s.commentsGen, s.cfg.PageSize, s.pool)
+	sn := newSnapshot(s.export(), prev, s.comments, s.commentsGen, s.comVer, s.comWriteGen, s.cfg.PageSize, s.pool)
 	s.buildSeconds.ObserveSince(start)
 	return sn
 }
@@ -277,6 +302,7 @@ func (s *Server) PrepareDay() (int, error) {
 	if err := s.market.Step(); err != nil {
 		return 0, err
 	}
+	s.absorbWrites()
 	s.pending = s.build()
 	return s.pending.day, nil
 }
@@ -314,6 +340,9 @@ func (s *Server) SetComments(cs []comments.Comment) {
 	defer s.mu.Unlock()
 	s.comments = grouped
 	s.commentsGen++
+	// The attached stream replaces everything, including any write-merged
+	// streams; per-app write versions restart with it.
+	s.comVer = nil
 	// A snapshot prepared before this call would serve the old comment
 	// set; discard it rather than commit stale state.
 	s.pending = nil
@@ -331,9 +360,69 @@ func (s *Server) AdvanceDay() error {
 	if err := s.market.Step(); err != nil {
 		return err
 	}
+	s.absorbWrites()
 	s.publish()
 	return nil
 }
+
+// absorbWrites rotates the write-ahead log and folds the sealed
+// day-delta into the market and comment state, so the snapshot about to
+// be built carries every acknowledged write. Runs under s.mu, after a
+// successful market step: the delta lands in the new day exactly once,
+// and a Step error (simulation period exhausted) leaves the WAL
+// accumulating instead of dropping a rotated delta on the floor. Writes
+// arriving during a fleet commit window (after PrepareDay rotated, before
+// CommitDay swaps) simply stay buffered and join the following epoch —
+// an acknowledged write is never split across days.
+func (s *Server) absorbWrites() {
+	d := s.wlog.Rotate()
+	if d.Empty() {
+		return
+	}
+	apps := d.Apps()
+	s.market.ApplyDownloadDelta(apps, func(id int32) int64 { return d.Downloads[id] })
+	if len(d.Comments) == 0 {
+		return
+	}
+	// Copy-on-write: the current comment map and its slices are shared
+	// with published snapshots still serving readers, so the map and every
+	// touched slice are cloned before appending.
+	cm := make(map[catalog.AppID][]CommentJSON, len(s.comments)+len(d.Comments))
+	for k, v := range s.comments {
+		cm[k] = v
+	}
+	cv := make(map[catalog.AppID]uint32, len(s.comVer)+len(d.Comments))
+	for k, v := range s.comVer {
+		cv[k] = v
+	}
+	// Every comment merged into day D is stamped at the day boundary: the
+	// merged bytes are a pure function of the accepted record set, which
+	// is what makes the next snapshot byte-identical across worker counts.
+	t := int64(s.market.Day()) * 86400
+	for _, id := range apps {
+		recs := d.Comments[id]
+		if len(recs) == 0 {
+			continue
+		}
+		aid := catalog.AppID(id)
+		old := cm[aid]
+		merged := make([]CommentJSON, len(old), len(old)+len(recs))
+		copy(merged, old)
+		for _, rec := range recs {
+			merged = append(merged, CommentJSON{User: rec.User, Rating: rec.Rating, UnixTime: t})
+		}
+		cm[aid] = merged
+		cv[aid]++
+	}
+	s.comments = cm
+	s.comVer = cv
+	s.comWriteGen++
+}
+
+// WALStats snapshots the write-ahead log's counters. After a quiescent
+// double day-roll Accepted == Merged — the zero-lost-acknowledged-writes
+// invariant the CI smoke job gates on.
+func (s *Server) WALStats() wal.Stats { return s.wlog.Stats() }
 
 // Day returns the serving snapshot's day.
 func (s *Server) Day() int {

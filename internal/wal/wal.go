@@ -1,0 +1,467 @@
+// Package wal is the store's write-ahead ingest buffer: a sharded,
+// batched append-only log that absorbs client mutations (downloads,
+// ratings, comments) during a serving day and hands the accumulated
+// day-delta to the day-roll, where it merges into the next snapshot. The
+// design keeps the RCU read path untouched — writes never take the
+// server's snapshot lock, never mutate served state, and become visible
+// only through the same two-phase snapshot swap every other day change
+// uses.
+//
+// Ingest is group-committed: an Append joins the owning shard's open
+// batch and blocks until the batch seals (size or time triggered); only a
+// sealed record is acknowledged, so an acked write is guaranteed to be in
+// the delta the next Rotate returns — zero acknowledged writes can be
+// lost short of process death, which is the strongest guarantee an
+// in-memory store can give. Sequence numbers are per shard and assigned
+// at seal, mirroring how a disk-backed group commit assigns LSNs at
+// fsync.
+//
+// The day-delta is deliberately an order-independent structure (per-app
+// download counts, per-app comment sets deduplicated on a natural key and
+// canonically sorted at rotation), so the merged state is a pure function
+// of the accepted set: the same writes produce byte-identical snapshots
+// whether they arrived on one connection or eight.
+package wal
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"planetapps/internal/metrics"
+)
+
+// Kind is the mutation type.
+type Kind uint8
+
+const (
+	// Download increments the app's download count.
+	Download Kind = iota
+	// Rate appends a rating (1..5) to the app's comment stream.
+	Rate
+	// Comment appends a comment (rating 0..5, 0 = omitted) to the app's
+	// comment stream.
+	Comment
+)
+
+// String names the kind for metrics labels and errors.
+func (k Kind) String() string {
+	switch k {
+	case Download:
+		return "download"
+	case Rate:
+		return "rate"
+	case Comment:
+		return "comment"
+	default:
+		return "unknown"
+	}
+}
+
+// Rec is one accepted mutation.
+type Rec struct {
+	Kind   Kind
+	App    int32
+	User   int32
+	Rating int8 // Rate: 1..5; Comment: 0..5 (0 = no rating attached)
+}
+
+// key packs the natural identity of a record — (kind, app, user) — into
+// one uint64 for exact duplicate detection. App and user IDs are
+// non-negative int32s (31 bits each), leaving the top bits for the kind.
+func (r Rec) key() uint64 {
+	return uint64(r.Kind)<<62 | uint64(uint32(r.App))<<31 | uint64(uint32(r.User))
+}
+
+// Ack is the acknowledgment for one Append.
+type Ack struct {
+	// Seq is the record's per-shard sequence number, assigned when its
+	// batch sealed. Zero for Duplicate acks (nothing was logged).
+	Seq uint64
+	// Shard is the internal shard that logged the record.
+	Shard int
+	// Duplicate reports that the record's natural key (kind, app, user)
+	// was already accepted — the caller answers 409.
+	Duplicate bool
+	// Deduped reports an Idempotency-Key replay: the stored ack of the
+	// original attempt is returned and nothing was logged again.
+	Deduped bool
+}
+
+// ErrBackpressure is returned when the log's bounded memory is full; the
+// caller should answer 429 with Config.RetryAfter.
+var ErrBackpressure = errors.New("wal: ingest buffer full")
+
+// Config sizes the log. The zero value gets sensible defaults from New.
+type Config struct {
+	// Shards is the internal shard count; records spread by app ID so one
+	// hot endpoint cannot serialize the whole ingest path. <= 0 uses 4.
+	Shards int
+	// MaxBatch seals a group-commit batch when it holds this many
+	// records. <= 0 uses 64.
+	MaxBatch int
+	// FlushInterval seals a non-empty batch after this long even when
+	// under-filled, bounding ack latency at low write rates. <= 0 uses
+	// 1ms.
+	FlushInterval time.Duration
+	// MaxPending bounds records buffered across all shards awaiting the
+	// next rotation; appends past the bound fail with ErrBackpressure
+	// (the server's 429). <= 0 uses 1<<20.
+	MaxPending int64
+	// RetryAfter is the backoff hint attached to backpressure rejections.
+	// <= 0 uses 500ms.
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = time.Millisecond
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = 1 << 20
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 500 * time.Millisecond
+	}
+	return c
+}
+
+// Delta is one epoch's accumulated mutations, rotated out at the
+// day-roll. Downloads is commutative (per-app counts) and Comments is
+// sorted canonically per app, so applying a Delta is order-independent:
+// byte-identical state regardless of arrival interleaving.
+type Delta struct {
+	// Downloads maps app ID -> download-count increment.
+	Downloads map[int32]int64
+	// Comments maps app ID -> its new comment-stream records (Rate and
+	// Comment kinds), sorted by (User, Kind, Rating).
+	Comments map[int32][]Rec
+	// Records is the total record count across both maps.
+	Records int
+}
+
+// Empty reports whether the delta carries no mutations.
+func (d *Delta) Empty() bool { return d == nil || d.Records == 0 }
+
+// Apps returns the delta's touched app IDs in ascending order — the
+// canonical application order for deterministic merges.
+func (d *Delta) Apps() []int32 {
+	ids := make([]int32, 0, len(d.Downloads)+len(d.Comments))
+	seen := make(map[int32]struct{}, len(d.Downloads)+len(d.Comments))
+	for id := range d.Downloads {
+		ids = append(ids, id)
+		seen[id] = struct{}{}
+	}
+	for id := range d.Comments {
+		if _, ok := seen[id]; !ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Stats is a point-in-time view of the log's counters. Accepted == Merged
+// after a full drain (two consecutive rotations with no concurrent
+// writes) is the no-lost-acks invariant the CI smoke gate checks.
+type Stats struct {
+	Accepted     int64 `json:"accepted"`
+	Merged       int64 `json:"merged"`
+	Deduped      int64 `json:"deduped"`
+	Duplicates   int64 `json:"duplicates"`
+	Backpressure int64 `json:"backpressure"`
+	Pending      int64 `json:"pending"`
+}
+
+// Log is the sharded ingest buffer. Create with New.
+type Log struct {
+	cfg     Config
+	shards  []*shard
+	pending metricCounter // records awaiting rotation, vs cfg.MaxPending
+
+	accepted     metricCounter
+	merged       metricCounter
+	deduped      metricCounter
+	duplicates   metricCounter
+	backpressure metricCounter
+
+	pendingGauge *metrics.Gauge
+	batchRecs    *metrics.Histogram // records per sealed batch
+	flushSeconds *metrics.Histogram // open->seal latency per batch
+}
+
+// metricCounter is a tiny always-present counter that optionally mirrors
+// into a registry counter (nil-safe), so the log works registry-less in
+// tests.
+type metricCounter struct {
+	v   atomic.Int64
+	reg *metrics.Counter
+}
+
+func (c *metricCounter) add(n int64) {
+	c.v.Add(n)
+	if c.reg != nil {
+		c.reg.Add(n)
+	}
+}
+
+func (c *metricCounter) value() int64 { return c.v.Load() }
+
+// New builds a log. reg (optional) receives the wal_* series: accepted/
+// merged/deduped/duplicate/backpressure counters, the pending gauge, and
+// the batch-size and flush-latency histograms.
+func New(cfg Config, reg *metrics.Registry) *Log {
+	cfg = cfg.withDefaults()
+	l := &Log{cfg: cfg}
+	if reg != nil {
+		l.accepted.reg = reg.Counter("wal_accepted_total")
+		l.merged.reg = reg.Counter("wal_merged_total")
+		l.deduped.reg = reg.Counter("wal_deduped_total")
+		l.duplicates.reg = reg.Counter("wal_duplicate_total")
+		l.backpressure.reg = reg.Counter("wal_backpressure_total")
+		l.pendingGauge = reg.Gauge("wal_pending_records")
+		l.batchRecs = reg.Histogram("wal_batch_records")
+		l.flushSeconds = reg.Histogram("wal_flush_seconds")
+	}
+	l.shards = make([]*shard, cfg.Shards)
+	for i := range l.shards {
+		l.shards[i] = &shard{
+			log:  l,
+			id:   i,
+			seen: make(map[uint64]struct{}),
+			idem: make(map[string]Ack),
+		}
+	}
+	return l
+}
+
+// RetryAfter is the backoff hint for backpressure rejections.
+func (l *Log) RetryAfter() time.Duration { return l.cfg.RetryAfter }
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Accepted:     l.accepted.value(),
+		Merged:       l.merged.value(),
+		Deduped:      l.deduped.value(),
+		Duplicates:   l.duplicates.value(),
+		Backpressure: l.backpressure.value(),
+		Pending:      l.pending.value(),
+	}
+}
+
+// Append logs one record and blocks until its group-commit batch seals,
+// returning the ack. idemKey (optional, from the Idempotency-Key request
+// header) makes retries safe: a replayed key returns the original ack
+// with Deduped set instead of logging twice. A record whose natural key
+// (kind, app, user) was already accepted returns Ack{Duplicate: true}
+// without logging. ErrBackpressure reports a full buffer.
+func (l *Log) Append(rec Rec, idemKey string) (Ack, error) {
+	sh := l.shards[int(uint32(rec.App))%len(l.shards)]
+	return sh.append(rec, idemKey)
+}
+
+// Rotate seals every open batch and returns the accumulated delta,
+// leaving the log empty for the next epoch. Appends blocked in an open
+// batch are acked into the returned delta (their writes make this roll);
+// appends that arrive after Rotate returns accumulate for the next one.
+// Idempotency-key memory is kept for one extra epoch so a client retry
+// that straddles the roll still dedups, then forgotten.
+//
+// The caller (the store's day-roll, holding its own writer lock) applies
+// the delta; comment lists come out canonically sorted and apps should be
+// applied in Apps() order so the merged state is order-independent.
+func (l *Log) Rotate() *Delta {
+	d := &Delta{
+		Downloads: make(map[int32]int64),
+		Comments:  make(map[int32][]Rec),
+	}
+	for _, sh := range l.shards {
+		sh.rotateInto(d)
+	}
+	for _, recs := range d.Comments {
+		sort.Slice(recs, func(i, j int) bool {
+			if recs[i].User != recs[j].User {
+				return recs[i].User < recs[j].User
+			}
+			if recs[i].Kind != recs[j].Kind {
+				return recs[i].Kind < recs[j].Kind
+			}
+			return recs[i].Rating < recs[j].Rating
+		})
+	}
+	if d.Records > 0 {
+		l.pending.add(-int64(d.Records))
+		l.merged.add(int64(d.Records))
+		if l.pendingGauge != nil {
+			l.pendingGauge.Add(-int64(d.Records))
+		}
+	}
+	return d
+}
+
+// shard is one independent ingest lane: its own lock, open batch,
+// sequence counter, dedup state, and delta accumulator.
+type shard struct {
+	log *Log
+	id  int
+
+	mu   sync.Mutex
+	open *batch
+	seq  uint64
+
+	// seen holds the natural keys accepted since the log was created
+	// (fetch-at-most-once: a user downloads/rates/comments an app once).
+	seen map[uint64]struct{}
+	// idem maps Idempotency-Key -> stored ack, two generations deep:
+	// idem is the current epoch, idemPrev the one before, rotated at
+	// Rotate so a retry straddling a day-roll still finds its ack.
+	idem     map[string]Ack
+	idemPrev map[string]Ack
+
+	// delta accumulates the epoch's sealed records.
+	downloads map[int32]int64
+	comments  map[int32][]Rec
+	records   int
+}
+
+// batch is one group-commit unit. done closes when the batch seals;
+// baseSeq is the sequence number of recs[0], assigned at seal.
+type batch struct {
+	recs    []Rec
+	opened  time.Time
+	done    chan struct{}
+	baseSeq uint64
+	timer   *time.Timer
+}
+
+func (sh *shard) append(rec Rec, idemKey string) (Ack, error) {
+	sh.mu.Lock()
+	if idemKey != "" {
+		if ack, ok := sh.idem[idemKey]; ok {
+			sh.mu.Unlock()
+			sh.log.deduped.add(1)
+			ack.Deduped = true
+			return ack, nil
+		}
+		if ack, ok := sh.idemPrev[idemKey]; ok {
+			sh.mu.Unlock()
+			sh.log.deduped.add(1)
+			ack.Deduped = true
+			return ack, nil
+		}
+	}
+	k := rec.key()
+	if _, dup := sh.seen[k]; dup {
+		ack := Ack{Shard: sh.id, Duplicate: true}
+		if idemKey != "" {
+			// Remember the rejection under the key too: a retried
+			// duplicate submission gets the same 409, not a fresh verdict.
+			sh.idem[idemKey] = ack
+		}
+		sh.mu.Unlock()
+		sh.log.duplicates.add(1)
+		return ack, nil
+	}
+	if sh.log.pending.value() >= sh.log.cfg.MaxPending {
+		sh.mu.Unlock()
+		sh.log.backpressure.add(1)
+		return Ack{}, ErrBackpressure
+	}
+
+	b := sh.open
+	if b == nil {
+		b = &batch{opened: time.Now(), done: make(chan struct{})}
+		sh.open = b
+		// The flush timer seals an under-filled batch so a lone write is
+		// acked within FlushInterval, not parked until the next arrival.
+		b.timer = time.AfterFunc(sh.log.cfg.FlushInterval, func() {
+			sh.mu.Lock()
+			if sh.open == b {
+				sh.sealLocked()
+			}
+			sh.mu.Unlock()
+		})
+	}
+	idx := len(b.recs)
+	b.recs = append(b.recs, rec)
+	sh.seen[k] = struct{}{}
+	sh.log.pending.add(1)
+	if sh.log.pendingGauge != nil {
+		sh.log.pendingGauge.Inc()
+	}
+	if len(b.recs) >= sh.log.cfg.MaxBatch {
+		sh.sealLocked()
+	}
+	sh.mu.Unlock()
+
+	<-b.done
+	ack := Ack{Seq: b.baseSeq + uint64(idx), Shard: sh.id}
+	if idemKey != "" {
+		sh.mu.Lock()
+		sh.idem[idemKey] = ack
+		sh.mu.Unlock()
+	}
+	sh.log.accepted.add(1)
+	return ack, nil
+}
+
+// sealLocked commits the open batch: assigns its sequence range, folds
+// its records into the shard's delta, and wakes the waiting appenders.
+// Callers hold sh.mu.
+func (sh *shard) sealLocked() {
+	b := sh.open
+	if b == nil {
+		return
+	}
+	sh.open = nil
+	if b.timer != nil {
+		b.timer.Stop()
+	}
+	b.baseSeq = sh.seq + 1
+	sh.seq += uint64(len(b.recs))
+	if sh.downloads == nil {
+		sh.downloads = make(map[int32]int64)
+		sh.comments = make(map[int32][]Rec)
+	}
+	for _, rec := range b.recs {
+		switch rec.Kind {
+		case Download:
+			sh.downloads[rec.App]++
+		default:
+			sh.comments[rec.App] = append(sh.comments[rec.App], rec)
+		}
+		sh.records++
+	}
+	if sh.log.batchRecs != nil {
+		sh.log.batchRecs.Observe(int64(len(b.recs)))
+		sh.log.flushSeconds.ObserveSince(b.opened)
+	}
+	close(b.done)
+}
+
+// rotateInto seals the shard's open batch, folds its epoch delta into d,
+// resets the accumulator, and ages the idempotency generations.
+func (sh *shard) rotateInto(d *Delta) {
+	sh.mu.Lock()
+	sh.sealLocked()
+	for app, n := range sh.downloads {
+		d.Downloads[app] += n
+	}
+	for app, recs := range sh.comments {
+		d.Comments[app] = append(d.Comments[app], recs...)
+	}
+	d.Records += sh.records
+	sh.downloads, sh.comments, sh.records = nil, nil, 0
+	sh.idemPrev = sh.idem
+	sh.idem = make(map[string]Ack)
+	sh.mu.Unlock()
+}
